@@ -1,0 +1,347 @@
+package chainlog
+
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// family per evaluation artifact; see DESIGN.md's experiment index).
+// Work-in-units-of-the-paper (tuples retrieved, graph nodes) is reported
+// via b.ReportMetric next to wall time, so `go test -bench=.` prints both
+// the shapes and the absolute costs.
+//
+//	BenchmarkTable1*   — E1, Section 3 comparison table
+//	BenchmarkFig7*     — E2, per-sample growth curves
+//	BenchmarkFig8*     — E3, cyclic same generation
+//	BenchmarkTheorem3  — E4, regular case
+//	BenchmarkTheorem4  — E5, linear-case iteration bound
+//	BenchmarkFlight    — E8, Section 4 binding propagation
+//	BenchmarkAblation* — A1, A2, A4
+
+import (
+	"fmt"
+	"testing"
+
+	"chainlog/internal/chaineval"
+	"chainlog/internal/counting"
+	"chainlog/internal/edb"
+	"chainlog/internal/equations"
+	"chainlog/internal/expr"
+	"chainlog/internal/hn"
+	"chainlog/internal/hunt"
+	"chainlog/internal/magic"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+	"chainlog/internal/workload"
+)
+
+type sgBench struct {
+	w     *workload.SG
+	st    *symtab.Table
+	sys   *equations.System
+	shape equations.LinearShape
+}
+
+func newSGBench(b *testing.B, gen func(*symtab.Table, int) *workload.SG, n int) *sgBench {
+	b.Helper()
+	st := symtab.NewTable()
+	w := gen(st, n)
+	res, err := parser.Parse(workload.SGProgram, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := equations.Transform(res.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shape, ok := sys.LinearDecompose("sg")
+	if !ok {
+		b.Fatal("sg does not decompose")
+	}
+	return &sgBench{w: w, st: st, sys: sys, shape: shape}
+}
+
+var sampleGens = []struct {
+	name string
+	gen  func(*symtab.Table, int) *workload.SG
+}{
+	{"sampleA", workload.SampleA},
+	{"sampleB", workload.SampleB},
+	{"sampleC", workload.SampleC},
+}
+
+// BenchmarkTable1 regenerates the Section 3 comparison: every strategy on
+// every Figure 7 sample.
+func BenchmarkTable1(b *testing.B) {
+	const n = 128
+	for _, s := range sampleGens {
+		b.Run(s.name+"/chain", func(b *testing.B) {
+			sb := newSGBench(b, s.gen, n)
+			eng := chaineval.New(sb.sys, chaineval.StoreSource{Store: sb.w.Store}, chaineval.Options{})
+			sb.w.Store.Counters.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query("sg", sb.w.Query); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sb.w.Store.Counters.Retrieved)/float64(b.N), "tuples/op")
+		})
+		b.Run(s.name+"/henschen-naqvi", func(b *testing.B) {
+			sb := newSGBench(b, s.gen, n)
+			src := chaineval.StoreSource{Store: sb.w.Store}
+			sb.w.Store.Counters.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hn.Evaluate(sb.shape, src, sb.w.Query, 0)
+			}
+			b.ReportMetric(float64(sb.w.Store.Counters.Retrieved)/float64(b.N), "tuples/op")
+		})
+		b.Run(s.name+"/counting", func(b *testing.B) {
+			sb := newSGBench(b, s.gen, n)
+			src := chaineval.StoreSource{Store: sb.w.Store}
+			sb.w.Store.Counters.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				counting.Evaluate(sb.shape, src, sb.w.Query, 0)
+			}
+			b.ReportMetric(float64(sb.w.Store.Counters.Retrieved)/float64(b.N), "tuples/op")
+		})
+		b.Run(s.name+"/magic", func(b *testing.B) {
+			sb := newSGBench(b, s.gen, n)
+			prog := parser.MustParse(workload.SGProgram, sb.st).Program
+			q := parser.MustParseQuery("sg("+sb.st.Name(sb.w.Query)+", Y)", sb.st)
+			sb.w.Store.Counters.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := magic.Evaluate(prog, q, sb.w.Store); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sb.w.Store.Counters.Retrieved)/float64(b.N), "tuples/op")
+		})
+	}
+}
+
+// BenchmarkFig7 regenerates the growth curves: node counts per sample
+// across the size sweep.
+func BenchmarkFig7(b *testing.B) {
+	for _, s := range sampleGens {
+		for _, n := range []int{64, 128, 256} {
+			b.Run(fmt.Sprintf("%s/n=%d", s.name, n), func(b *testing.B) {
+				sb := newSGBench(b, s.gen, n)
+				eng := chaineval.New(sb.sys, chaineval.StoreSource{Store: sb.w.Store}, chaineval.Options{})
+				var nodes int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := eng.Query("sg", sb.w.Query)
+					if err != nil {
+						b.Fatal(err)
+					}
+					nodes = res.Nodes
+				}
+				b.ReportMetric(float64(nodes), "graphnodes")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the cyclic experiment: m·n iterations to the
+// full answer with the termination bound active.
+func BenchmarkFig8(b *testing.B) {
+	for _, mn := range [][2]int{{3, 4}, {5, 7}, {9, 11}} {
+		b.Run(fmt.Sprintf("m=%d,n=%d", mn[0], mn[1]), func(b *testing.B) {
+			st := symtab.NewTable()
+			w := workload.Cyclic(st, mn[0], mn[1])
+			res := parser.MustParse(workload.SGProgram, st)
+			sys, err := equations.Transform(res.Program)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := chaineval.New(sys, chaineval.StoreSource{Store: w.Store}, chaineval.Options{})
+			var iters int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := eng.Query("sg", w.Query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = r.Iterations
+			}
+			b.ReportMetric(float64(iters), "iterations")
+		})
+	}
+}
+
+// BenchmarkTheorem3 measures the regular case: one iteration, work linear
+// in the chain length.
+func BenchmarkTheorem3(b *testing.B) {
+	for _, n := range []int{128, 256, 512} {
+		b.Run(fmt.Sprintf("chain-n=%d", n), func(b *testing.B) {
+			st := symtab.NewTable()
+			store, src := workload.Chain(st, n)
+			res := parser.MustParse("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n", st)
+			sys, err := equations.Transform(res.Program)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := chaineval.New(sys, chaineval.StoreSource{Store: store}, chaineval.Options{})
+			var nodes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := eng.Query("tc", src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes = r.Nodes
+			}
+			b.ReportMetric(float64(nodes), "graphnodes")
+		})
+	}
+}
+
+// BenchmarkTheorem4 measures h·n·t behavior on random genealogies.
+func BenchmarkTheorem4(b *testing.B) {
+	for _, n := range []int{200, 400} {
+		b.Run(fmt.Sprintf("tree-n=%d", n), func(b *testing.B) {
+			st := symtab.NewTable()
+			w := workload.RandomTree(st, n, 0.3, 1)
+			res := parser.MustParse(workload.SGProgram, st)
+			sys, err := equations.Transform(res.Program)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := chaineval.New(sys, chaineval.StoreSource{Store: w.Store}, chaineval.Options{})
+			var iters int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := eng.Query("sg", w.Query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = r.Iterations
+			}
+			b.ReportMetric(float64(iters), "iterations")
+		})
+	}
+}
+
+// BenchmarkFlight exercises the Section 4 pipeline end to end through the
+// public API (E8).
+func BenchmarkFlight(b *testing.B) {
+	db := NewDB()
+	if err := db.LoadProgram(workload.FlightProgram); err != nil {
+		b.Fatal(err)
+	}
+	f := workload.FlightDB(db.SymTab(), 30, 5, 1)
+	db.SetStore(f.Store)
+	query := fmt.Sprintf("cnx(%s, %s, D, AT)", db.Name(f.Source), db.Name(f.DepTime))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := db.Query(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(ans.Rows)), "answers")
+		}
+	}
+}
+
+// BenchmarkAblationDemand contrasts preconstruction (Hunt) with the
+// demand-driven engine on data that is mostly irrelevant to the query
+// (A1).
+func BenchmarkAblationDemand(b *testing.B) {
+	build := func() (*symtab.Table, *sgStore) {
+		st := symtab.NewTable()
+		store, src := workload.Chain(st, 64)
+		for i := 0; i < 2000; i++ {
+			store.Insert("edge", st.Intern(fmt.Sprintf("j%d", i)), st.Intern(fmt.Sprintf("j%d", i+1)))
+		}
+		return st, &sgStore{store: store, src: src}
+	}
+	b.Run("hunt-preconstruct", func(b *testing.B) {
+		st, s := build()
+		_ = st
+		e := expr.MustParse("edge.edge*")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g := hunt.Build(e, s.store)
+			g.Query(s.src)
+		}
+	})
+	b.Run("chain-demand", func(b *testing.B) {
+		st, s := build()
+		res := parser.MustParse("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n", st)
+		sys, err := equations.Transform(res.Program)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := chaineval.New(sys, chaineval.StoreSource{Store: s.store}, chaineval.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query("tc", s.src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type sgStore struct {
+	store *edb.Store
+	src   symtab.Sym
+}
+
+// BenchmarkAblationMemo contrasts node memoization with HN recomputation
+// on sample (c) (A2).
+func BenchmarkAblationMemo(b *testing.B) {
+	const n = 192
+	b.Run("chain-memoized", func(b *testing.B) {
+		sb := newSGBench(b, workload.SampleC, n)
+		eng := chaineval.New(sb.sys, chaineval.StoreSource{Store: sb.w.Store}, chaineval.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query("sg", sb.w.Query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hn-recompute", func(b *testing.B) {
+		sb := newSGBench(b, workload.SampleC, n)
+		src := chaineval.StoreSource{Store: sb.w.Store}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hn.Evaluate(sb.shape, src, sb.w.Query, 0)
+		}
+	})
+}
+
+// BenchmarkAblationBindings compares direct binary-chain evaluation with
+// the same query forced through the Section 4 transformation (A4): the
+// transformation's virtual-relation joins add overhead but preserve the
+// demand-driven behavior.
+func BenchmarkAblationBindings(b *testing.B) {
+	setup := func() *DB {
+		db := NewDB()
+		if err := db.LoadProgram(workload.SGProgram); err != nil {
+			b.Fatal(err)
+		}
+		w := workload.SampleC(db.SymTab(), 96)
+		db.SetStore(w.Store)
+		return db
+	}
+	b.Run("direct", func(b *testing.B) {
+		db := setup()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query("sg(a1, Y)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("section4", func(b *testing.B) {
+		db := setup()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryOpts("sg(a1, Y)", Options{ForceSection4: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

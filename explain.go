@@ -1,0 +1,74 @@
+package chainlog
+
+import (
+	"fmt"
+	"strings"
+
+	"chainlog/internal/adorn"
+	"chainlog/internal/automaton"
+	"chainlog/internal/binchain"
+	"chainlog/internal/equations"
+	"chainlog/internal/parser"
+)
+
+// Explain renders the compiled form of the program, and — when a query is
+// given — the compilation route that query would take: the Lemma 1
+// equation system and its automaton for direct binary-chain queries, or
+// the adorned program and generated binary-chain program for queries
+// routed through the Section 4 transformation.
+func (db *DB) Explain(query string) (string, error) {
+	var b strings.Builder
+	info := db.Analysis()
+
+	if info.BinaryChainProgram() {
+		sys, err := equations.Transform(db.prog)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "Lemma 1 equation system (%d loop iterations):\n%s\n", sys.Iterations, sys.Render())
+		if query != "" {
+			q, err := parser.ParseQuery(query, db.st)
+			if err != nil {
+				return "", err
+			}
+			if e, ok := sys.EquationFor(q.Pred); ok && (q.Adornment() == "bf" || q.Adornment() == "fb" || q.Adornment() == "ff") {
+				fmt.Fprintf(&b, "automaton M(e_%s):\n%s\n", q.Pred, automaton.Compile(e).String())
+				return b.String(), nil
+			}
+		}
+	}
+
+	if query == "" {
+		return b.String(), nil
+	}
+	q, err := parser.ParseQuery(query, db.st)
+	if err != nil {
+		return "", err
+	}
+	if !info.Derived[q.Pred] {
+		fmt.Fprintf(&b, "%s is an extensional predicate; the query is a direct index lookup.\n", q.Pred)
+		return b.String(), nil
+	}
+
+	// Section 4 route.
+	ap, err := adorn.Adorn(db.prog, q)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "adorned program (query %s):\n%s", ap.Query, ap.Render())
+	if err := ap.ChainCheck(); err != nil {
+		fmt.Fprintf(&b, "NOT a chain program: %v\n", err)
+		return b.String(), nil
+	}
+	tr, err := binchain.FromAdorned(ap, db.store)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\nbinary-chain program:\n%s", tr.Describe())
+	sys, err := equations.Transform(tr.Program)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\nequations:\n%s", sys.Render())
+	return b.String(), nil
+}

@@ -1,0 +1,237 @@
+package adorn
+
+import (
+	"strings"
+	"testing"
+
+	"chainlog/internal/ast"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+)
+
+func adornProgram(t *testing.T, src, query string) (*Program, error) {
+	t.Helper()
+	st := symtab.NewTable()
+	res, err := parser.Parse(src, st)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	q, err := parser.ParseQuery(query, st)
+	if err != nil {
+		t.Fatalf("parse query: %v", err)
+	}
+	return Adorn(res.Program, q)
+}
+
+func mustAdorn(t *testing.T, src, query string) *Program {
+	t.Helper()
+	ap, err := adornProgram(t, src, query)
+	if err != nil {
+		t.Fatalf("Adorn: %v", err)
+	}
+	return ap
+}
+
+const sgSrc = `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+`
+
+// The paper's sg^bf adorned program: the recursive rule passes the
+// binding through up, so sg in the body is adorned bf as well.
+func TestSGAdornBF(t *testing.T) {
+	ap := mustAdorn(t, sgSrc, "sg(john, Y)")
+	if ap.Query.Key() != "sg_bf" {
+		t.Fatalf("query pred = %s", ap.Query.Key())
+	}
+	if len(ap.Rules) != 2 {
+		t.Fatalf("rules = %d\n%s", len(ap.Rules), ap.Render())
+	}
+	rec := ap.Rules[1]
+	if rec.Derived == nil || rec.DerivedAdorn != "bf" {
+		t.Fatalf("recursive rule adorned %q", rec.DerivedAdorn)
+	}
+	if len(rec.In) != 1 || rec.In[0].Pred != "up" {
+		t.Fatalf("in group = %v", rec.In)
+	}
+	if len(rec.Out) != 1 || rec.Out[0].Pred != "down" {
+		t.Fatalf("out group = %v", rec.Out)
+	}
+	if err := ap.ChainCheck(); err != nil {
+		t.Fatalf("sg^bf should be a chain program: %v", err)
+	}
+}
+
+// sg^bb: both arguments bound; up and down are separate components, both
+// connected to bound head variables, so both join the in group (our
+// generalization of condition 3) and the derived literal is adorned bb.
+func TestSGAdornBB(t *testing.T) {
+	ap := mustAdorn(t, sgSrc, "sg(john, mary)")
+	rec := ap.Rules[1]
+	if rec.DerivedAdorn != "bb" {
+		t.Fatalf("derived adorn = %q, want bb\n%s", rec.DerivedAdorn, ap.Render())
+	}
+	if len(rec.In) != 2 || len(rec.Out) != 0 {
+		t.Fatalf("in=%d out=%d", len(rec.In), len(rec.Out))
+	}
+	if err := ap.ChainCheck(); err != nil {
+		t.Fatalf("chain check: %v", err)
+	}
+}
+
+// Naughton's example (the paper's second Section 4 example): the
+// adornments alternate bf/fb through the mutual rules.
+func TestNaughtonExample(t *testing.T) {
+	ap := mustAdorn(t, `
+p(X, Y) :- b0(X, Y).
+p(X, Y) :- b1(X, Z), p(Y, Z).
+`, "p(a, Y)")
+	keys := map[string]bool{}
+	for _, r := range ap.Rules {
+		keys[r.HeadPred().Key()] = true
+	}
+	if !keys["p_bf"] || !keys["p_fb"] || len(keys) != 2 {
+		t.Fatalf("adorned predicates = %v\n%s", keys, ap.Render())
+	}
+	// Rule r2 for p^bf: p(X,Y) :- b1(X,Z), p(Y,Z): X bound, so b1 is the
+	// in group; derived p(Y,Z): Y free, Z bound (via b1) → fb.
+	var r2 Rule
+	found := false
+	for _, r := range ap.Rules {
+		if r.HeadAdorn == "bf" && r.Derived != nil {
+			r2, found = r, true
+		}
+	}
+	if !found || r2.DerivedAdorn != "fb" {
+		t.Fatalf("p^bf recursive rule derived adorn = %q", r2.DerivedAdorn)
+	}
+	// Rule r4 for p^fb: in group empty, b1 is the out group, derived bf.
+	var r4 Rule
+	found = false
+	for _, r := range ap.Rules {
+		if r.HeadAdorn == "fb" && r.Derived != nil {
+			r4, found = r, true
+		}
+	}
+	if !found || r4.DerivedAdorn != "bf" {
+		t.Fatalf("p^fb recursive rule derived adorn = %q", r4.DerivedAdorn)
+	}
+	if len(r4.In) != 0 || len(r4.Out) != 1 {
+		t.Fatalf("p^fb split: in=%d out=%d", len(r4.In), len(r4.Out))
+	}
+	if err := ap.ChainCheck(); err != nil {
+		t.Fatalf("chain check: %v", err)
+	}
+}
+
+// The paper's non-chain counterexample: in rule
+// p(X,Y) :- b1(X,Y), p(Y,Z) the in group b1(X,Y) binds the free head
+// variable Y; the transformation would compute a superset, so ChainCheck
+// must reject it.
+func TestNonChainCounterexample(t *testing.T) {
+	ap := mustAdorn(t, `
+p(X, Y) :- b0(X, Y).
+p(X, Y) :- b1(X, Y), p(Y, Z).
+`, "p(a, Y)")
+	err := ap.ChainCheck()
+	if err == nil {
+		t.Fatal("counterexample passed the chain check")
+	}
+	if !strings.Contains(err.Error(), "Y") {
+		t.Fatalf("error should name the offending variable: %v", err)
+	}
+}
+
+// The flight program: the built-in AT1 < DT1 connects is_deptime to
+// flight, so the whole group lands in the in group and the derived
+// literal keeps both bindings (cnx^bbff throughout).
+func TestFlightAdornment(t *testing.T) {
+	ap := mustAdorn(t, `
+cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1, is_deptime(DT1), cnx(D1, DT1, D, AT).
+`, "cnx(hel, 900, D, AT)")
+	if ap.Query.Key() != "cnx_bbff" {
+		t.Fatalf("query pred = %s", ap.Query.Key())
+	}
+	for _, r := range ap.Rules {
+		if r.Derived != nil {
+			if r.DerivedAdorn != "bbff" {
+				t.Fatalf("derived adorn = %q\n%s", r.DerivedAdorn, ap.Render())
+			}
+			if len(r.In) != 3 { // flight, <, is_deptime
+				t.Fatalf("in group = %d literals", len(r.In))
+			}
+			if len(r.Out) != 0 {
+				t.Fatalf("out group = %d literals", len(r.Out))
+			}
+		}
+	}
+	if err := ap.ChainCheck(); err != nil {
+		t.Fatalf("chain check: %v", err)
+	}
+	if len(ap.Rules) != 2 {
+		t.Fatalf("adornment closure generated %d rules", len(ap.Rules))
+	}
+}
+
+func TestAdornRejections(t *testing.T) {
+	// Two derived literals per body.
+	if _, err := adornProgram(t, `
+p(X, Z) :- p(X, Y), p(Y, Z).
+p(X, Y) :- e(X, Y).
+`, "p(a, Y)"); err == nil {
+		t.Error("two derived literals accepted")
+	}
+	// Base query predicate.
+	if _, err := adornProgram(t, `
+p(X, Y) :- e(X, Y).
+`, "e(a, Y)"); err == nil {
+		t.Error("base query predicate accepted")
+	}
+	// Arity mismatch.
+	if _, err := adornProgram(t, `
+p(X, Y) :- e(X, Y).
+`, "p(a, b, c)"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Unsafe rule.
+	if _, err := adornProgram(t, `
+p(X, Y) :- e(X, X).
+`, "p(a, Y)"); err == nil {
+		t.Error("unsafe rule accepted")
+	}
+}
+
+func TestBoundFreeArgs(t *testing.T) {
+	st := symtab.NewTable()
+	lit := ast.Atom("cnx", ast.V("S"), ast.V("DT"), ast.V("D"), ast.V("AT"))
+	b := BoundArgs(lit, "bbff")
+	f := FreeArgs(lit, "bbff")
+	if len(b) != 2 || b[0].Var != "S" || b[1].Var != "DT" {
+		t.Fatalf("BoundArgs = %v", b)
+	}
+	if len(f) != 2 || f[0].Var != "D" || f[1].Var != "AT" {
+		t.Fatalf("FreeArgs = %v", f)
+	}
+	_ = st
+}
+
+// Adornment closure terminates and covers all reachable adorned preds on
+// a program with three mutually recursive predicates.
+func TestAdornClosureMutual(t *testing.T) {
+	ap := mustAdorn(t, `
+p(X, Y) :- a(X, Y).
+p(X, Z) :- a(X, Y), q(Y, Z).
+q(X, Z) :- b(X, Y), r(Y, Z).
+r(X, Z) :- c(X, Y), p(Y, Z).
+`, "p(a0, Y)")
+	keys := map[string]bool{}
+	for _, r := range ap.Rules {
+		keys[r.HeadPred().Key()] = true
+	}
+	for _, want := range []string{"p_bf", "q_bf", "r_bf"} {
+		if !keys[want] {
+			t.Errorf("missing adorned predicate %s (have %v)", want, keys)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package automaton compiles relational expressions into nondeterministic
+// finite automata M(e) by the standard Thompson construction, treating the
+// expression as a regular expression over the alphabet of predicate
+// symbols (Figure 1 of the paper). Transitions on the empty string are
+// labeled "id" and interpreted as the identity relation.
+//
+// The evaluation of a query for predicate p is controlled by a hierarchy
+// of automata EM(p,i): EM(p,1) is a copy of M(e_p), and EM(p,i+1) is
+// obtained by replacing each transition on a derived predicate r with a
+// fresh copy of M(e_r) linked in by id transitions (Figure 2). The NFA
+// type here is mutable to support exactly that expansion; the evaluator in
+// internal/chaineval drives it on demand.
+package automaton
+
+import (
+	"fmt"
+	"strings"
+
+	"chainlog/internal/expr"
+)
+
+// Label is a transition label: a predicate symbol (possibly traversed
+// inversely) or the identity relation.
+type Label struct {
+	// Pred is the predicate name; empty for id transitions.
+	Pred string
+	// Inv marks an inverse traversal (the label p⁻¹): follow tuples from
+	// second component to first.
+	Inv bool
+}
+
+// IsID reports whether the label is the identity relation.
+func (l Label) IsID() bool { return l.Pred == "" }
+
+func (l Label) String() string {
+	if l.IsID() {
+		return "id"
+	}
+	if l.Inv {
+		return l.Pred + "~"
+	}
+	return l.Pred
+}
+
+// Trans is one transition.
+type Trans struct {
+	From  int
+	Label Label
+	To    int
+	// removed marks transitions deleted by EM expansion; they stay in the
+	// slice so transition IDs remain stable.
+	removed bool
+}
+
+// NFA is a mutable nondeterministic finite automaton with a single start
+// and a single final state.
+type NFA struct {
+	Start, Final int
+	trans        []Trans
+	out          [][]int // state -> transition IDs
+}
+
+// NumStates returns the number of states.
+func (m *NFA) NumStates() int { return len(m.out) }
+
+// NumTrans returns the number of live transitions.
+func (m *NFA) NumTrans() int {
+	n := 0
+	for _, t := range m.trans {
+		if !t.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// addState appends a fresh state.
+func (m *NFA) addState() int {
+	m.out = append(m.out, nil)
+	return len(m.out) - 1
+}
+
+// AddTrans adds a transition and returns its ID.
+func (m *NFA) AddTrans(from int, label Label, to int) int {
+	id := len(m.trans)
+	m.trans = append(m.trans, Trans{From: from, Label: label, To: to})
+	m.out[from] = append(m.out[from], id)
+	return id
+}
+
+// Remove deletes a transition by ID (IDs of other transitions are
+// unaffected).
+func (m *NFA) Remove(id int) { m.trans[id].removed = true }
+
+// Removed reports whether the transition has been deleted.
+func (m *NFA) Removed(id int) bool { return m.trans[id].removed }
+
+// Trans returns the transition with the given ID.
+func (m *NFA) Trans(id int) Trans { return m.trans[id] }
+
+// Out calls f for each live transition leaving state q.
+func (m *NFA) Out(q int, f func(id int, t Trans)) {
+	for _, id := range m.out[q] {
+		if t := m.trans[id]; !t.removed {
+			f(id, t)
+		}
+	}
+}
+
+// OutIDs returns the IDs of live transitions leaving q.
+func (m *NFA) OutIDs(q int) []int {
+	var out []int
+	for _, id := range m.out[q] {
+		if !m.trans[id].removed {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Each calls f for every live transition.
+func (m *NFA) Each(f func(id int, t Trans)) {
+	for id, t := range m.trans {
+		if !t.removed {
+			f(id, t)
+		}
+	}
+}
+
+// AddCopy splices a fresh copy of sub into m (renumbering sub's states)
+// and returns the copied start and final states. This is the EM(p,i)
+// expansion primitive: the caller links the copy in with id transitions.
+func (m *NFA) AddCopy(sub *NFA) (start, final int) {
+	offset := m.NumStates()
+	for range sub.out {
+		m.addState()
+	}
+	for _, t := range sub.trans {
+		if !t.removed {
+			m.AddTrans(t.From+offset, t.Label, t.To+offset)
+		}
+	}
+	return sub.Start + offset, sub.Final + offset
+}
+
+// Clone returns an independent deep copy of m.
+func (m *NFA) Clone() *NFA {
+	out := &NFA{Start: m.Start, Final: m.Final}
+	out.trans = append([]Trans(nil), m.trans...)
+	out.out = make([][]int, len(m.out))
+	for i, ids := range m.out {
+		out.out[i] = append([]int(nil), ids...)
+	}
+	return out
+}
+
+// String renders the automaton for debugging and golden tests: one line
+// per live transition, sorted by (from, to, label), with start/final
+// marked.
+func (m *NFA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "start=q%d final=q%d states=%d\n", m.Start, m.Final, m.NumStates())
+	for from := range m.out {
+		m.Out(from, func(_ int, t Trans) {
+			fmt.Fprintf(&b, "q%d -%s-> q%d\n", t.From, t.Label, t.To)
+		})
+	}
+	return b.String()
+}
+
+// Compile builds M(e) by the Thompson construction. Inverses of compound
+// subexpressions are compiled by reversing them first, so inverse labels
+// appear only on predicate transitions.
+func Compile(e expr.Expr) *NFA {
+	m := &NFA{}
+	s, f := m.compile(e)
+	m.Start, m.Final = s, f
+	return m
+}
+
+func (m *NFA) compile(e expr.Expr) (start, final int) {
+	switch v := e.(type) {
+	case expr.Pred:
+		s, f := m.addState(), m.addState()
+		m.AddTrans(s, Label{Pred: v.Name}, f)
+		return s, f
+	case expr.Ident:
+		s, f := m.addState(), m.addState()
+		m.AddTrans(s, Label{}, f)
+		return s, f
+	case expr.Empty:
+		return m.addState(), m.addState()
+	case expr.Inverse:
+		if p, ok := v.E.(expr.Pred); ok {
+			s, f := m.addState(), m.addState()
+			m.AddTrans(s, Label{Pred: p.Name, Inv: true}, f)
+			return s, f
+		}
+		return m.compile(expr.Reverse(v.E))
+	case expr.Union:
+		s, f := m.addState(), m.addState()
+		for _, t := range v.Terms {
+			ts, tf := m.compile(t)
+			m.AddTrans(s, Label{}, ts)
+			m.AddTrans(tf, Label{}, f)
+		}
+		return s, f
+	case expr.Concat:
+		s, f := m.compile(v.Terms[0])
+		for _, t := range v.Terms[1:] {
+			ts, tf := m.compile(t)
+			m.AddTrans(f, Label{}, ts)
+			f = tf
+		}
+		return s, f
+	case expr.Star:
+		s, f := m.addState(), m.addState()
+		ts, tf := m.compile(v.E)
+		m.AddTrans(s, Label{}, f)
+		m.AddTrans(s, Label{}, ts)
+		m.AddTrans(tf, Label{}, ts)
+		m.AddTrans(tf, Label{}, f)
+		return s, f
+	}
+	panic(fmt.Sprintf("automaton: unknown expression %T", e))
+}
+
+// Accepts reports whether the automaton accepts the word (a sequence of
+// labels rendered as strings, e.g. "up", "flat", "down", with id
+// transitions taken silently). It is used by tests to check language
+// equivalence between expressions and automata.
+func (m *NFA) Accepts(word []string) bool {
+	cur := m.closure(map[int]bool{m.Start: true})
+	for _, sym := range word {
+		next := make(map[int]bool)
+		for q := range cur {
+			m.Out(q, func(_ int, t Trans) {
+				if !t.Label.IsID() && t.Label.String() == sym {
+					next[t.To] = true
+				}
+			})
+		}
+		cur = m.closure(next)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	return cur[m.Final]
+}
+
+// closure extends a state set along id transitions.
+func (m *NFA) closure(set map[int]bool) map[int]bool {
+	stack := make([]int, 0, len(set))
+	for q := range set {
+		stack = append(stack, q)
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m.Out(q, func(_ int, t Trans) {
+			if t.Label.IsID() && !set[t.To] {
+				set[t.To] = true
+				stack = append(stack, t.To)
+			}
+		})
+	}
+	return set
+}
+
+// Words enumerates all label words of length <= maxLen accepted by the
+// automaton, in lexicographic order; used by property tests comparing an
+// expression against its automaton.
+func (m *NFA) Words(maxLen int) []string {
+	var out []string
+	type item struct {
+		states map[int]bool
+		word   []string
+	}
+	queue := []item{{states: m.closure(map[int]bool{m.Start: true})}}
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.states[m.Final] {
+			w := strings.Join(it.word, " ")
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+		if len(it.word) == maxLen {
+			continue
+		}
+		// Collect outgoing symbols.
+		syms := map[string]bool{}
+		for q := range it.states {
+			m.Out(q, func(_ int, t Trans) {
+				if !t.Label.IsID() {
+					syms[t.Label.String()] = true
+				}
+			})
+		}
+		for sym := range syms {
+			next := make(map[int]bool)
+			for q := range it.states {
+				m.Out(q, func(_ int, t Trans) {
+					if !t.Label.IsID() && t.Label.String() == sym {
+						next[t.To] = true
+					}
+				})
+			}
+			queue = append(queue, item{states: m.closure(next), word: append(append([]string(nil), it.word...), sym)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package automaton
+
+import (
+	"fmt"
+	"testing"
+
+	"chainlog/internal/expr"
+)
+
+// BenchmarkCompile measures the Thompson construction on expressions of
+// growing size (the Horner-form sg_i expressions of ablation A3).
+func BenchmarkCompile(b *testing.B) {
+	horner := func(i int) expr.Expr {
+		e := expr.Expr(expr.Pred{Name: "flat"})
+		for k := 1; k < i; k++ {
+			e = expr.NewUnion(expr.Pred{Name: "flat"},
+				expr.NewConcat(expr.Pred{Name: "up"}, e, expr.Pred{Name: "down"}))
+		}
+		return e
+	}
+	for _, i := range []int{8, 32, 128} {
+		e := horner(i)
+		b.Run(fmt.Sprintf("sg_%d", i), func(b *testing.B) {
+			for k := 0; k < b.N; k++ {
+				Compile(e)
+			}
+		})
+	}
+}
+
+// BenchmarkExpand measures the EM(p,i) expansion primitive: splicing a
+// sub-automaton copy into a growing host.
+func BenchmarkExpand(b *testing.B) {
+	sub := Compile(expr.MustParse("flat U up.sg.down"))
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		host := Compile(expr.MustParse("flat U up.sg.down"))
+		for i := 0; i < 50; i++ {
+			// Expand the first derived transition found.
+			var id = -1
+			var tr Trans
+			host.Each(func(tid int, t Trans) {
+				if id == -1 && t.Label.Pred == "sg" {
+					id, tr = tid, t
+				}
+			})
+			if id == -1 {
+				b.Fatal("no sg transition to expand")
+			}
+			start, final := host.AddCopy(sub)
+			host.AddTrans(tr.From, Label{}, start)
+			host.AddTrans(final, Label{}, tr.To)
+			host.Remove(id)
+		}
+	}
+}

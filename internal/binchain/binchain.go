@@ -1,0 +1,459 @@
+// Package binchain implements the Section 4 transformation of an adorned
+// n-ary linear program into a binary-chain program over tuple terms.
+//
+// For every adorned predicate p^a it defines a binary predicate bin-p^a
+// whose tuples are pairs (t(x̄^b), t(x̄^f)); for every adorned rule r it
+// defines the nonrecursive binary predicates base-r, in-r and out-r, whose
+// tuples are computed from joins of the rule's base literals. Following
+// the paper, these relations are never precomputed: the evaluation
+// algorithm retrieves their tuples "by demand", binding the first argument
+// — whose components always carry bindings originating from the query —
+// and joining the underlying extensional relations through indexes.
+//
+// The resulting binary-chain program is handed to the Lemma 1
+// transformation and evaluated with the graph-traversal engine; by
+// Theorem 7 its answers coincide with the original program's whenever the
+// adorned program is a chain program.
+package binchain
+
+import (
+	"fmt"
+
+	"chainlog/internal/adorn"
+	"chainlog/internal/ast"
+	"chainlog/internal/bottomup"
+	"chainlog/internal/chaineval"
+	"chainlog/internal/edb"
+	"chainlog/internal/symtab"
+)
+
+// Transformed is the output of Transform: a binary-chain program, a
+// demand-driven source for its virtual base relations, and the query over
+// it.
+type Transformed struct {
+	// Adorned is the adorned program the transformation was built from.
+	Adorned *adorn.Program
+	// Program is the generated binary-chain program over bin-p^a and the
+	// virtual base predicates.
+	Program *ast.Program
+	// QueryPred is the bin predicate to query (bin-q^a).
+	QueryPred string
+	// BoundArg is the interned tuple term t(c̄) of the query's bound
+	// constants (possibly the empty tuple).
+	BoundArg symtab.Sym
+	// FreeVars names the query's free variables in position order; each
+	// answer tuple term decodes to values for these, in order.
+	FreeVars []string
+	// Source resolves the virtual base predicates by demand-driven joins
+	// against the extensional store.
+	Source chaineval.Source
+
+	st   *symtab.Table
+	base *edb.Store
+}
+
+// BinPredName returns the binary predicate name for an adorned predicate.
+func BinPredName(p adorn.Pred) string { return "bin_" + p.Key() }
+
+// Transform builds the binary-chain program for prog and query over the
+// extensional store. It verifies the chain-program condition unless
+// unsafe is set (the unsafe mode exists so tests can reproduce the
+// paper's non-chain counterexample, where the transformed program
+// computes a strict superset).
+func Transform(prog *ast.Program, q ast.Query, base *edb.Store, unsafe bool) (*Transformed, error) {
+	ap, err := adorn.Adorn(prog, q)
+	if err != nil {
+		return nil, err
+	}
+	if !unsafe {
+		if err := ap.ChainCheck(); err != nil {
+			return nil, err
+		}
+	}
+	return FromAdorned(ap, base)
+}
+
+// FromAdorned builds the transformation from an already adorned program.
+func FromAdorned(ap *adorn.Program, base *edb.Store) (*Transformed, error) {
+	t := &Transformed{
+		Adorned: ap,
+		Program: &ast.Program{},
+		st:      base.SymTab(),
+		base:    base,
+	}
+	vs := &virtualSource{st: t.st, base: base, rels: make(map[string]*vrel)}
+	t.Source = vs
+
+	for _, r := range ap.Rules {
+		binHead := BinPredName(r.HeadPred())
+		headBound := adorn.BoundArgs(r.Head, r.HeadAdorn)
+		headFree := adorn.FreeArgs(r.Head, r.HeadAdorn)
+
+		if r.Derived == nil {
+			// bin-p^a(U, V) :- base-r(U, V).
+			name := "base_" + r.ID
+			vs.rels[name] = &vrel{inArgs: headBound, outArgs: headFree, body: r.AllBody}
+			t.Program.Rules = append(t.Program.Rules, ast.Rule{
+				Head: ast.Atom(binHead, ast.V("U"), ast.V("V")),
+				Body: []ast.Literal{ast.Atom(name, ast.V("U"), ast.V("V"))},
+			})
+			continue
+		}
+
+		dp, _ := r.DerivedPred()
+		binBody := BinPredName(dp)
+		derBound := adorn.BoundArgs(*r.Derived, r.DerivedAdorn)
+		derFree := adorn.FreeArgs(*r.Derived, r.DerivedAdorn)
+
+		// in-r(t(X̄^b), t(Z̄^b)) :- b1, ..., bi.   Omitted when it is the
+		// identity rule in-r(t(X̄^b), t(X̄^b)) :- .
+		inIdentity := len(r.In) == 0 && termSeqEqual(headBound, derBound)
+		// out-r(t(Z̄^f), t(X̄^f)) :- b(i+1), ..., bn.  Omitted when identity.
+		outIdentity := len(r.Out) == 0 && termSeqEqual(derFree, headFree)
+
+		var body []ast.Literal
+		prev := ast.V("U")
+		if !inIdentity {
+			name := "in_" + r.ID
+			vs.rels[name] = &vrel{inArgs: headBound, outArgs: derBound, body: r.In}
+			body = append(body, ast.Atom(name, prev, ast.V("U1")))
+			prev = ast.V("U1")
+		}
+		var last ast.Term = ast.V("V")
+		if !outIdentity {
+			last = ast.V("V1")
+		}
+		body = append(body, ast.Atom(binBody, prev, last))
+		if !outIdentity {
+			name := "out_" + r.ID
+			vs.rels[name] = &vrel{inArgs: derFree, outArgs: headFree, body: r.Out}
+			body = append(body, ast.Atom(name, ast.V("V1"), ast.V("V")))
+		}
+		t.Program.Rules = append(t.Program.Rules, ast.Rule{
+			Head: ast.Atom(binHead, ast.V("U"), ast.V("V")),
+			Body: body,
+		})
+	}
+
+	// The query literal of the transformed program:
+	// bin-q^a(t(x̄^b), t(x̄^f)).
+	t.QueryPred = BinPredName(ap.Query)
+	var boundVals []symtab.Sym
+	for _, a := range ap.QueryLit.Args {
+		if !a.IsVar() {
+			boundVals = append(boundVals, a.Const)
+		} else {
+			t.FreeVars = append(t.FreeVars, a.Var)
+		}
+	}
+	t.BoundArg = t.st.InternTuple(boundVals)
+	return t, nil
+}
+
+// DecodeAnswer expands an answer tuple term into the values of the
+// query's free variables, in position order.
+func (t *Transformed) DecodeAnswer(s symtab.Sym) []symtab.Sym {
+	return t.st.TupleElems(s)
+}
+
+// DecodeAnswers expands and filters a result set: rows are dropped when a
+// repeated free variable in the query would require two different values.
+func (t *Transformed) DecodeAnswers(syms []symtab.Sym) [][]symtab.Sym {
+	var rows [][]symtab.Sym
+	first := map[string]int{}
+	for i, v := range t.FreeVars {
+		if _, ok := first[v]; !ok {
+			first[v] = i
+		}
+	}
+	for _, s := range syms {
+		row := t.DecodeAnswer(s)
+		if len(row) != len(t.FreeVars) {
+			continue
+		}
+		ok := true
+		for i, v := range t.FreeVars {
+			if row[first[v]] != row[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func termSeqEqual(a, b []ast.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].IsVar() != b[i].IsVar() {
+			return false
+		}
+		if a[i].IsVar() {
+			if a[i].Var != b[i].Var {
+				return false
+			}
+		} else if a[i].Const != b[i].Const {
+			return false
+		}
+	}
+	return true
+}
+
+// vrel is a virtual binary relation over tuple terms: given bindings for
+// inArgs (decoded from a tuple term), join body against the extensional
+// store and project outArgs. Traversed backwards it binds outArgs and
+// projects inArgs — joins are direction-agnostic.
+type vrel struct {
+	inArgs  []ast.Term
+	outArgs []ast.Term
+	body    []ast.Literal
+}
+
+type virtualSource struct {
+	st   *symtab.Table
+	base *edb.Store
+	rels map[string]*vrel
+	// domain caches the active domain, used to enumerate projection
+	// variables the join leaves unbound (possible only for non-chain
+	// programs evaluated in unsafe mode: the rule out-r(t(Z̄f), t(X̄f)) :-
+	// ... may not bind all of X̄f, and declaratively such a variable
+	// ranges over the whole domain — the paper's counterexample).
+	domain []symtab.Sym
+}
+
+func (v *virtualSource) activeDomain() []symtab.Sym {
+	if v.domain != nil {
+		return v.domain
+	}
+	set := map[symtab.Sym]bool{}
+	for _, name := range v.base.Relations() {
+		r := v.base.Relation(name)
+		for i := 0; i < r.Len(); i++ {
+			for _, s := range r.Tuple(i) {
+				set[s] = true
+			}
+		}
+	}
+	for s := range set {
+		v.domain = append(v.domain, s)
+	}
+	return v.domain
+}
+
+func (v *virtualSource) Successors(pred string, u symtab.Sym) []symtab.Sym {
+	r, ok := v.rels[pred]
+	if !ok {
+		// Fall back to a real binary relation of the store, so mixed
+		// programs keep working.
+		return v.base.Relation(pred).Successors(u)
+	}
+	return v.eval(r, r.inArgs, r.outArgs, u)
+}
+
+func (v *virtualSource) Predecessors(pred string, u symtab.Sym) []symtab.Sym {
+	r, ok := v.rels[pred]
+	if !ok {
+		return v.base.Relation(pred).Predecessors(u)
+	}
+	return v.eval(r, r.outArgs, r.inArgs, u)
+}
+
+// eval binds the "from" argument vector with the components of tuple term
+// u, enumerates body substitutions, and projects the "to" vector as tuple
+// terms.
+func (v *virtualSource) eval(r *vrel, from, to []ast.Term, u symtab.Sym) []symtab.Sym {
+	elems := v.st.TupleElems(u)
+	if elems == nil || len(elems) != len(from) {
+		return nil
+	}
+	subst := make(map[string]symtab.Sym, len(from))
+	for i, a := range from {
+		if a.IsVar() {
+			if prev, ok := subst[a.Var]; ok && prev != elems[i] {
+				return nil
+			}
+			subst[a.Var] = elems[i]
+		} else if a.Const != elems[i] {
+			return nil
+		}
+	}
+	seen := map[symtab.Sym]bool{}
+	var out []symtab.Sym
+	v.join(r.body, subst, func(s map[string]symtab.Sym) {
+		vals := make([]symtab.Sym, len(to))
+		unbound := -1
+		for i, a := range to {
+			if a.IsVar() {
+				vals[i] = s[a.Var]
+				if vals[i] == symtab.None {
+					unbound = i
+				}
+			} else {
+				vals[i] = a.Const
+			}
+		}
+		emit := func(vs []symtab.Sym) {
+			ts := v.st.InternTuple(vs)
+			if !seen[ts] {
+				seen[ts] = true
+				out = append(out, ts)
+			}
+		}
+		if unbound < 0 {
+			emit(vals)
+			return
+		}
+		// An unbound projection variable ranges over the active domain.
+		// (Reachable only for non-chain programs in unsafe mode.)
+		v.enumerate(vals, to, 0, emit)
+	})
+	return out
+}
+
+// enumerate expands every still-unbound position of vals over the active
+// domain, calling emit for each completion.
+func (v *virtualSource) enumerate(vals []symtab.Sym, to []ast.Term, i int, emit func([]symtab.Sym)) {
+	if i == len(vals) {
+		cp := make([]symtab.Sym, len(vals))
+		copy(cp, vals)
+		emit(cp)
+		return
+	}
+	if vals[i] != symtab.None {
+		v.enumerate(vals, to, i+1, emit)
+		return
+	}
+	for _, d := range v.activeDomain() {
+		vals[i] = d
+		v.enumerate(vals, to, i+1, emit)
+	}
+	vals[i] = symtab.None
+}
+
+// join enumerates substitutions over base atoms and built-ins by greedy
+// bound-first index nested loops, calling emit for each full solution.
+func (v *virtualSource) join(body []ast.Literal, subst map[string]symtab.Sym, emit func(map[string]symtab.Sym)) {
+	done := make([]bool, len(body))
+	var step func()
+	step = func() {
+		next := -1
+		bestBound := -1
+		for i, l := range body {
+			if done[i] {
+				continue
+			}
+			if l.IsBuiltin() {
+				ready := true
+				for _, a := range l.Args {
+					if a.IsVar() && subst[a.Var] == symtab.None {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					next = i
+					bestBound = 1 << 30
+					break
+				}
+				continue
+			}
+			b := 0
+			for _, a := range l.Args {
+				if !a.IsVar() || subst[a.Var] != symtab.None {
+					b++
+				}
+			}
+			if b > bestBound {
+				bestBound = b
+				next = i
+			}
+		}
+		if next == -1 {
+			for i, l := range body {
+				if !done[i] {
+					if !l.IsBuiltin() || !v.evalBuiltin(l, subst) {
+						return
+					}
+				}
+			}
+			emit(subst)
+			return
+		}
+		l := body[next]
+		done[next] = true
+		defer func() { done[next] = false }()
+
+		if l.IsBuiltin() {
+			if v.evalBuiltin(l, subst) {
+				step()
+			}
+			return
+		}
+
+		rel := v.base.Relation(l.Pred)
+		if rel == nil {
+			return
+		}
+		var mask uint32
+		var bound []symtab.Sym
+		for i, a := range l.Args {
+			if a.IsVar() {
+				if s := subst[a.Var]; s != symtab.None {
+					mask |= 1 << uint(i)
+					bound = append(bound, s)
+				}
+			} else {
+				mask |= 1 << uint(i)
+				bound = append(bound, a.Const)
+			}
+		}
+		rel.MatchEach(mask, bound, func(tuple []symtab.Sym) {
+			var assigned []string
+			ok := true
+			for i, a := range l.Args {
+				if !a.IsVar() {
+					continue
+				}
+				if s := subst[a.Var]; s != symtab.None {
+					if s != tuple[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				subst[a.Var] = tuple[i]
+				assigned = append(assigned, a.Var)
+			}
+			if ok {
+				step()
+			}
+			for _, name := range assigned {
+				delete(subst, name)
+			}
+		})
+	}
+	step()
+}
+
+func (v *virtualSource) evalBuiltin(l ast.Literal, subst map[string]symtab.Sym) bool {
+	val := func(t ast.Term) symtab.Sym {
+		if t.IsVar() {
+			return subst[t.Var]
+		}
+		return t.Const
+	}
+	return bottomup.Compare(v.st, l.Op, val(l.Args[0]), val(l.Args[1]))
+}
+
+// Describe renders the transformed program and virtual relation
+// definitions for golden tests and the CLI's -explain mode.
+func (t *Transformed) Describe() string {
+	s := t.Program.Render(t.st)
+	s += fmt.Sprintf("query: %s(%s, V)\n", t.QueryPred, t.st.Name(t.BoundArg))
+	return s
+}

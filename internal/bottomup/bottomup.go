@@ -1,0 +1,411 @@
+// Package bottomup implements the two completely general evaluation
+// baselines the paper's introduction discusses: naive evaluation and
+// seminaive evaluation. Both compute the full fixpoint of a safe Datalog
+// program bottom-up; they apply to any arity, any recursion shape and any
+// binding pattern, which is exactly why — as the paper argues — they
+// consult many potentially irrelevant facts when the query carries
+// bindings.
+//
+// Rule bodies are evaluated by an index-nested-loop join with greedy
+// bound-first literal ordering; comparison built-ins run as filters once
+// their variables are bound.
+package bottomup
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"chainlog/internal/ast"
+	"chainlog/internal/edb"
+	"chainlog/internal/symtab"
+)
+
+// Stats reports the work a fixpoint run performed.
+type Stats struct {
+	// Iterations is the number of fixpoint rounds.
+	Iterations int
+	// Firings is the number of successful rule instantiations (the
+	// paper's "duplication of work" counts repeated firings on the same
+	// data; naive evaluation re-fires, seminaive mostly does not).
+	Firings int64
+	// Derived is the number of distinct facts derived.
+	Derived int64
+}
+
+// Naive computes the fixpoint by re-evaluating every rule against the
+// whole current database until nothing new appears.
+func Naive(prog *ast.Program, base *edb.Store) (*edb.Store, Stats, error) {
+	ev, err := newEvaluator(prog, base)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	for {
+		ev.stats.Iterations++
+		grew := false
+		for _, r := range prog.Rules {
+			n := ev.evalRule(r, -1, nil, func(head []symtab.Sym) bool {
+				return ev.insert(r.Head.Pred, head)
+			})
+			if n > 0 {
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	return ev.idb, ev.stats, nil
+}
+
+// Seminaive computes the fixpoint with delta relations: each round only
+// instantiates rules through at least one fact derived in the previous
+// round, avoiding the re-firing naive evaluation performs.
+func Seminaive(prog *ast.Program, base *edb.Store) (*edb.Store, Stats, error) {
+	ev, err := newEvaluator(prog, base)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	derived := prog.DerivedSet()
+
+	// Round 0: rules whose bodies mention no derived predicate.
+	delta := edb.NewStore(base.SymTab())
+	for _, r := range prog.Rules {
+		hasDerived := false
+		for _, l := range r.Body {
+			if !l.IsBuiltin() && derived[l.Pred] {
+				hasDerived = true
+				break
+			}
+		}
+		if hasDerived {
+			continue
+		}
+		ev.evalRule(r, -1, nil, func(head []symtab.Sym) bool {
+			if ev.insert(r.Head.Pred, head) {
+				delta.Insert(r.Head.Pred, head...)
+				return true
+			}
+			return false
+		})
+	}
+	ev.stats.Iterations++
+
+	for delta.Size() > 0 {
+		ev.stats.Iterations++
+		next := edb.NewStore(base.SymTab())
+		for _, r := range prog.Rules {
+			for j, l := range r.Body {
+				if l.IsBuiltin() || !derived[l.Pred] {
+					continue
+				}
+				dl := delta.Relation(l.Pred)
+				if dl.Len() == 0 {
+					continue
+				}
+				ev.evalRule(r, j, delta, func(head []symtab.Sym) bool {
+					if ev.insert(r.Head.Pred, head) {
+						next.Insert(r.Head.Pred, head...)
+						return true
+					}
+					return false
+				})
+			}
+		}
+		delta = next
+	}
+	return ev.idb, ev.stats, nil
+}
+
+// Answer filters the derived relation for the query's bound arguments and
+// returns the sorted projections onto its free positions.
+func Answer(idb *edb.Store, q ast.Query) [][]symtab.Sym {
+	r := idb.Relation(q.Pred)
+	if r == nil {
+		return nil
+	}
+	var mask uint32
+	var bound []symtab.Sym
+	var freeIdx []int
+	for i, a := range q.Args {
+		if a.IsVar() {
+			freeIdx = append(freeIdx, i)
+		} else {
+			mask |= 1 << uint(i)
+			bound = append(bound, a.Const)
+		}
+	}
+	// Deduplicate projections onto the free variables, honoring repeated
+	// variables in the query (e.g. p(X, X)).
+	varPos := make(map[string]int)
+	var out [][]symtab.Sym
+	seen := make(map[string]bool)
+	r.MatchEach(mask, bound, func(tuple []symtab.Sym) {
+		for k := range varPos {
+			delete(varPos, k)
+		}
+		row := make([]symtab.Sym, 0, len(freeIdx))
+		ok := true
+		for _, i := range freeIdx {
+			v := q.Args[i].Var
+			if prev, dup := varPos[v]; dup {
+				if tuple[prev] != tuple[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			varPos[v] = i
+			row = append(row, tuple[i])
+		}
+		if !ok {
+			return
+		}
+		key := fmt.Sprint(row)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, row)
+		}
+	})
+	sortRows(out)
+	return out
+}
+
+type evaluator struct {
+	prog    *ast.Program
+	base    *edb.Store
+	idb     *edb.Store
+	derived map[string]bool
+	st      *symtab.Table
+	stats   Stats
+}
+
+func newEvaluator(prog *ast.Program, base *edb.Store) (*evaluator, error) {
+	if _, err := prog.Arities(); err != nil {
+		return nil, err
+	}
+	return &evaluator{
+		prog:    prog,
+		base:    base,
+		idb:     edb.NewStore(base.SymTab()),
+		derived: prog.DerivedSet(),
+		st:      base.SymTab(),
+	}, nil
+}
+
+func (ev *evaluator) insert(pred string, args []symtab.Sym) bool {
+	r := ev.idb.Relation(pred)
+	if r != nil && r.Contains(args) {
+		return false
+	}
+	ev.idb.Insert(pred, args...)
+	ev.stats.Derived++
+	return true
+}
+
+// relFor resolves the relation a body literal ranges over, optionally
+// pinning literal index deltaIdx to the delta store.
+func (ev *evaluator) relFor(l ast.Literal, idx, deltaIdx int, delta *edb.Store) *edb.Relation {
+	if idx == deltaIdx {
+		return delta.Relation(l.Pred)
+	}
+	if ev.derived[l.Pred] {
+		return ev.idb.Relation(l.Pred)
+	}
+	return ev.base.Relation(l.Pred)
+}
+
+// evalRule enumerates all substitutions satisfying the body and calls emit
+// with the instantiated head; emit reports whether the fact was new (for
+// firing statistics every successful instantiation counts as a firing).
+// deltaIdx >= 0 pins that body literal to the delta store.
+func (ev *evaluator) evalRule(r ast.Rule, deltaIdx int, delta *edb.Store, emit func([]symtab.Sym) bool) int {
+	subst := make(map[string]symtab.Sym)
+	done := make([]bool, len(r.Body))
+	newFacts := 0
+
+	var step func()
+	step = func() {
+		// Pick the next literal: a ready built-in first (cheap filter),
+		// otherwise the atom with the most bound arguments.
+		next := -1
+		bestBound := -1
+		for i, l := range r.Body {
+			if done[i] {
+				continue
+			}
+			if l.IsBuiltin() {
+				if ev.builtinReady(l, subst) {
+					next = i
+					bestBound = 1 << 30
+					break
+				}
+				continue
+			}
+			b := 0
+			for _, a := range l.Args {
+				if !a.IsVar() || subst[a.Var] != symtab.None {
+					b++
+				}
+			}
+			if b > bestBound {
+				bestBound = b
+				next = i
+			}
+		}
+		if next == -1 {
+			// All atoms done; any remaining built-ins are unsatisfiable
+			// under safety (their vars must be bound by now).
+			for i, l := range r.Body {
+				if !done[i] {
+					if !l.IsBuiltin() || !ev.evalBuiltin(l, subst) {
+						return
+					}
+				}
+			}
+			head := make([]symtab.Sym, len(r.Head.Args))
+			for i, a := range r.Head.Args {
+				if a.IsVar() {
+					head[i] = subst[a.Var]
+					if head[i] == symtab.None {
+						// Unbound head variable (non-range-restricted
+						// rule, e.g. the identity rule): bottom-up
+						// evaluation derives nothing from it.
+						return
+					}
+				} else {
+					head[i] = a.Const
+				}
+			}
+			ev.stats.Firings++
+			if emit(head) {
+				newFacts++
+			}
+			return
+		}
+		l := r.Body[next]
+		done[next] = true
+		defer func() { done[next] = false }()
+
+		if l.IsBuiltin() {
+			if ev.evalBuiltin(l, subst) {
+				step()
+			}
+			return
+		}
+
+		rel := ev.relFor(l, next, deltaIdx, delta)
+		if rel == nil {
+			return
+		}
+		var mask uint32
+		var bound []symtab.Sym
+		for i, a := range l.Args {
+			if a.IsVar() {
+				if v := subst[a.Var]; v != symtab.None {
+					mask |= 1 << uint(i)
+					bound = append(bound, v)
+				}
+			} else {
+				mask |= 1 << uint(i)
+				bound = append(bound, a.Const)
+			}
+		}
+		rel.MatchEach(mask, bound, func(tuple []symtab.Sym) {
+			var assigned []string
+			ok := true
+			for i, a := range l.Args {
+				if !a.IsVar() {
+					continue
+				}
+				if v := subst[a.Var]; v != symtab.None {
+					if v != tuple[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				subst[a.Var] = tuple[i]
+				assigned = append(assigned, a.Var)
+			}
+			if ok {
+				step()
+			}
+			for _, v := range assigned {
+				delete(subst, v)
+			}
+		})
+	}
+	step()
+	return newFacts
+}
+
+func (ev *evaluator) builtinReady(l ast.Literal, subst map[string]symtab.Sym) bool {
+	for _, a := range l.Args {
+		if a.IsVar() && subst[a.Var] == symtab.None {
+			return false
+		}
+	}
+	return true
+}
+
+func (ev *evaluator) evalBuiltin(l ast.Literal, subst map[string]symtab.Sym) bool {
+	val := func(t ast.Term) symtab.Sym {
+		if t.IsVar() {
+			return subst[t.Var]
+		}
+		return t.Const
+	}
+	return Compare(ev.st, l.Op, val(l.Args[0]), val(l.Args[1]))
+}
+
+// Compare evaluates a comparison built-in over two constants: numerically
+// when both render as integers, lexicographically otherwise.
+func Compare(st *symtab.Table, op ast.BuiltinOp, a, b symtab.Sym) bool {
+	an, aerr := strconv.Atoi(st.Name(a))
+	bn, berr := strconv.Atoi(st.Name(b))
+	var cmp int
+	if aerr == nil && berr == nil {
+		switch {
+		case an < bn:
+			cmp = -1
+		case an > bn:
+			cmp = 1
+		}
+	} else {
+		sa, sb := st.Name(a), st.Name(b)
+		switch {
+		case sa < sb:
+			cmp = -1
+		case sa > sb:
+			cmp = 1
+		}
+	}
+	switch op {
+	case ast.OpLT:
+		return cmp < 0
+	case ast.OpLE:
+		return cmp <= 0
+	case ast.OpGT:
+		return cmp > 0
+	case ast.OpGE:
+		return cmp >= 0
+	case ast.OpEQ:
+		return cmp == 0
+	case ast.OpNE:
+		return cmp != 0
+	}
+	return false
+}
+
+func sortRows(rows [][]symtab.Sym) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

@@ -1,0 +1,616 @@
+// Package chaineval implements the paper's evaluation algorithm
+// (Figures 4 and 5): a demand-driven graph traversal that evaluates a
+// query p(a, Y) over the equation system produced by the Lemma 1
+// transformation.
+//
+// The state of the evaluation is the interpretation graph G(p,a,i) of the
+// automaton hierarchy EM(p,i): its nodes are pairs (q, u) of an automaton
+// state and a term. Only nodes are stored, never arcs — the paper's third
+// performance factor. The graph is built during the traversal, so the set
+// of constructed nodes equals the set of nodes reachable from the query
+// constant, which bounds the potentially relevant facts (factor two), and
+// each node is visited exactly once (factor one: no duplicated work).
+//
+// Transitions on derived predicates are continuation points: at the end of
+// each main-loop iteration they are expanded in place by fresh copies of
+// M(e_r) (building EM(p,i+1)), and traversal resumes from the copied start
+// states. The loop stops when no continuation points remain; for cyclic
+// data, where that may never happen, the engine optionally applies the
+// Marchetti-Spaccamela m·n accessible-node bound for equations of the
+// linear shape p = e0 ∪ e1·p·e2.
+package chaineval
+
+import (
+	"fmt"
+	"sort"
+
+	"chainlog/internal/automaton"
+	"chainlog/internal/equations"
+	"chainlog/internal/expr"
+	"chainlog/internal/graph"
+	"chainlog/internal/symtab"
+)
+
+// Source resolves base-predicate names to binary-relation access. The
+// extensional database implements it directly; the Section 4
+// transformation supplies a source whose base-r/in-r/out-r relations are
+// computed by demand-driven joins.
+type Source interface {
+	// Successors returns all v with pred(u, v).
+	Successors(pred string, u symtab.Sym) []symtab.Sym
+	// Predecessors returns all u with pred(u, v); needed for inverse
+	// labels introduced by p(X, b) query reversal.
+	Predecessors(pred string, v symtab.Sym) []symtab.Sym
+}
+
+// Options tunes the engine.
+type Options struct {
+	// MaxIterations caps the number of main-loop iterations; 0 means no
+	// cap (the loop runs until no continuation points remain or the
+	// cyclic guard fires).
+	MaxIterations int
+	// DisableCyclicGuard turns off the m·n accessible-node iteration
+	// bound for equations of the linear shape p = e0 ∪ e1·p·e2 (the
+	// extension of Marchetti-Spaccamela et al. discussed in Section 3).
+	// The guard is on by default: with it, evaluation over cyclic data
+	// terminates with the complete answer; without it, cyclic data loops
+	// until MaxIterations (or forever).
+	DisableCyclicGuard bool
+	// MaxNodes aborts evaluation when the interpretation graph exceeds
+	// this many nodes; 0 means unlimited. A defensive resource bound.
+	MaxNodes int
+	// Tracer, when non-nil, observes iterations, node insertions,
+	// expansions and answers as they happen.
+	Tracer Tracer
+}
+
+// Result reports the answers and the evaluation statistics the paper's
+// complexity analysis is stated in.
+type Result struct {
+	// Answers is the sorted answer set {u | (q_f, u) ∈ G}.
+	Answers []symtab.Sym
+	// Iterations is the number of main-loop iterations performed (the h
+	// of Theorem 4).
+	Iterations int
+	// Nodes is the number of nodes in the final interpretation graph.
+	Nodes int
+	// States and Transitions describe the final EM(p,i) automaton.
+	States, Transitions int
+	// Expansions counts derived-predicate transitions expanded.
+	Expansions int
+	// Converged is true when the algorithm terminated with a complete
+	// answer (continuation points exhausted, or the cyclic bound
+	// guaranteed completeness); false when MaxIterations cut it off.
+	Converged bool
+	// BoundStopped is true when the cyclic guard ended the loop.
+	BoundStopped bool
+	// AnswerCompleteAt is the first iteration after which the answer set
+	// stopped growing (1-based; 0 when no iterations ran). Experiment E3
+	// reads the paper's "m·n iterations needed" claim from this.
+	AnswerCompleteAt int
+}
+
+// Engine evaluates queries over one equation system and one source.
+type Engine struct {
+	sys  *equations.System
+	src  Source
+	opts Options
+	// compiled caches M(e_r) per derived predicate.
+	compiled map[string]*automaton.NFA
+	// reversed caches the reversed equation system for p(X,b) queries.
+	reversed *equations.System
+}
+
+// New returns an engine over the system and source.
+func New(sys *equations.System, src Source, opts Options) *Engine {
+	return &Engine{sys: sys, src: src, opts: opts, compiled: make(map[string]*automaton.NFA)}
+}
+
+// System returns the engine's equation system.
+func (e *Engine) System() *equations.System { return e.sys }
+
+// Query evaluates p(a, Y) and returns the sorted set of Y values.
+func (e *Engine) Query(pred string, a symtab.Sym) (*Result, error) {
+	eq, ok := e.sys.EquationFor(pred)
+	if !ok {
+		return nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
+	}
+	return e.run(e.sys, pred, eq, a)
+}
+
+// QueryInverse evaluates p(X, b) by applying the algorithm to the
+// reversed equation system (the paper: "to evaluate p(X,b), simply apply
+// the algorithm to the query r(b,Y), where r is the inverse of p").
+func (e *Engine) QueryInverse(pred string, b symtab.Sym) (*Result, error) {
+	rev := e.reversedSystem()
+	eq, ok := rev.EquationFor(pred)
+	if !ok {
+		return nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
+	}
+	return e.run(rev, pred, eq, b)
+}
+
+// QueryBoolean evaluates p(a, b). The binding of the second argument
+// cannot be used by this algorithm (Section 3), so the query is evaluated
+// with the second argument free and b checked for membership.
+func (e *Engine) QueryBoolean(pred string, a, b symtab.Sym) (bool, *Result, error) {
+	res, err := e.Query(pred, a)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, v := range res.Answers {
+		if v == b {
+			return true, res, nil
+		}
+	}
+	return false, res, nil
+}
+
+// QueryAll evaluates p(X, Y) for every source constant in domain,
+// returning sorted pairs. For equation systems whose relevant equations
+// are regular (no derived predicates), it uses the SCC-condensation
+// optimization (Tarjan) so shared subgraphs are traversed once; otherwise
+// it evaluates per source.
+func (e *Engine) QueryAll(pred string, domain []symtab.Sym) ([][2]symtab.Sym, *Result, error) {
+	eq, ok := e.sys.EquationFor(pred)
+	if !ok {
+		return nil, nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
+	}
+	if e.sys.IsRegularFor(pred) {
+		return e.allPairsRegular(eq, domain)
+	}
+	var pairs [][2]symtab.Sym
+	agg := &Result{Converged: true}
+	for _, a := range domain {
+		res, err := e.run(e.sys, pred, eq, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, v := range res.Answers {
+			pairs = append(pairs, [2]symtab.Sym{a, v})
+		}
+		agg.Nodes += res.Nodes
+		agg.Expansions += res.Expansions
+		if res.Iterations > agg.Iterations {
+			agg.Iterations = res.Iterations
+		}
+		agg.Converged = agg.Converged && res.Converged
+	}
+	sortPairs(pairs)
+	return pairs, agg, nil
+}
+
+// node is one vertex of the interpretation graph G(p,a,i).
+type node struct {
+	q int
+	u symtab.Sym
+}
+
+// run is the main program of Figure 4.
+func (e *Engine) run(sys *equations.System, pred string, eq expr.Expr, a symtab.Sym) (*Result, error) {
+	em := e.compileFor(sys, pred).Clone() // EM(p,1) = copy of M(e_p)
+	res := &Result{}
+
+	G := make(map[node]bool)
+	answers := make(map[symtab.Sym]bool)
+	S := []node{{em.Start, a}}
+
+	var bound int
+	if !e.opts.DisableCyclicGuard {
+		bound = e.cyclicBound(sys, pred, a)
+	}
+
+	var stack []node
+	// traverse implements Figure 5 iteratively: it pops nodes, follows
+	// base and id transitions creating new nodes, and records
+	// continuation points at derived-predicate transitions.
+	C := make(map[node]bool)
+	visit := func(n node) bool {
+		if G[n] {
+			return true
+		}
+		G[n] = true
+		if e.opts.Tracer != nil {
+			e.opts.Tracer.Node(n.q, n.u)
+		}
+		if n.q == em.Final {
+			answers[n.u] = true
+			if e.opts.Tracer != nil {
+				e.opts.Tracer.Answer(n.u)
+			}
+		}
+		stack = append(stack, n)
+		return e.opts.MaxNodes == 0 || len(G) <= e.opts.MaxNodes
+	}
+	traverse := func() error {
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			var overflow bool
+			em.Out(n.q, func(_ int, t automaton.Trans) {
+				if overflow {
+					return
+				}
+				switch {
+				case t.Label.IsID():
+					if !visit(node{t.To, n.u}) {
+						overflow = true
+					}
+				case sys.Derived[t.Label.Pred]:
+					C[n] = true
+				default:
+					var vs []symtab.Sym
+					if t.Label.Inv {
+						vs = e.src.Predecessors(t.Label.Pred, n.u)
+					} else {
+						vs = e.src.Successors(t.Label.Pred, n.u)
+					}
+					for _, v := range vs {
+						if !visit(node{t.To, v}) {
+							overflow = true
+							return
+						}
+					}
+				}
+			})
+			if overflow {
+				return fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
+			}
+		}
+		return nil
+	}
+
+	for {
+		res.Iterations++
+		if e.opts.Tracer != nil {
+			e.opts.Tracer.Iteration(res.Iterations)
+		}
+		for k := range C {
+			delete(C, k)
+		}
+		prevAnswers := len(answers)
+		for _, n := range S {
+			if !G[n] {
+				if !visit(n) {
+					return nil, fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
+				}
+				if err := traverse(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(answers) > prevAnswers || res.AnswerCompleteAt == 0 && len(answers) > 0 {
+			res.AnswerCompleteAt = res.Iterations
+		}
+
+		if len(C) == 0 {
+			res.Converged = true
+			break
+		}
+		if e.opts.MaxIterations > 0 && res.Iterations >= e.opts.MaxIterations {
+			break
+		}
+		if bound > 0 && res.Iterations >= bound {
+			res.Converged = true
+			res.BoundStopped = true
+			break
+		}
+
+		// Expand every derived-predicate transition leaving a state that
+		// acquired a continuation point, building EM(p,i+1).
+		S = S[:0]
+		states := make(map[int][]symtab.Sym)
+		for n := range C {
+			states[n.q] = append(states[n.q], n.u)
+		}
+		for q, terms := range states {
+			for _, id := range em.OutIDs(q) {
+				t := em.Trans(id)
+				if t.Label.IsID() || !sys.Derived[t.Label.Pred] {
+					continue
+				}
+				sub := e.compileFor(sys, t.Label.Pred)
+				start, final := em.AddCopy(sub)
+				em.AddTrans(q, automaton.Label{}, start)
+				em.AddTrans(final, automaton.Label{}, t.To)
+				em.Remove(id)
+				res.Expansions++
+				if e.opts.Tracer != nil {
+					e.opts.Tracer.Expand(t.Label.Pred, q, start)
+				}
+				for _, u := range terms {
+					S = append(S, node{start, u})
+				}
+			}
+		}
+	}
+
+	res.Nodes = len(G)
+	res.States = em.NumStates()
+	res.Transitions = em.NumTrans()
+	res.Answers = sortedSyms(answers)
+	return res, nil
+}
+
+// compileFor returns the cached M(e_p) for the given system (forward
+// systems share e.compiled; reversed systems use a prefixed key).
+func (e *Engine) compileFor(sys *equations.System, pred string) *automaton.NFA {
+	key := pred
+	if sys == e.reversed {
+		key = "\x00rev\x00" + pred
+	}
+	if m, ok := e.compiled[key]; ok {
+		return m
+	}
+	m := automaton.Compile(sys.Eq[pred])
+	e.compiled[key] = m
+	return m
+}
+
+// reversedSystem builds (once) the equation system for the inverse
+// relations: each equation p = e_p becomes p = rev(e_p) where rev reverses
+// compositions, pushes inverses onto base predicates, and keeps derived
+// predicates as references to their (reversed) equations.
+func (e *Engine) reversedSystem() *equations.System {
+	if e.reversed != nil {
+		return e.reversed
+	}
+	rev := &equations.System{
+		Order:         append([]string(nil), e.sys.Order...),
+		Eq:            make(map[string]expr.Expr),
+		Derived:       e.sys.Derived,
+		InitialMutual: e.sys.InitialMutual,
+	}
+	for _, p := range e.sys.Order {
+		rev.Eq[p] = reverseExpr(e.sys.Eq[p], e.sys.Derived)
+	}
+	e.reversed = rev
+	return rev
+}
+
+func reverseExpr(ex expr.Expr, derived map[string]bool) expr.Expr {
+	switch v := ex.(type) {
+	case expr.Pred:
+		if derived[v.Name] {
+			return v // refers to the reversed equation of the same name
+		}
+		return expr.NewInverse(v)
+	case expr.Empty, expr.Ident:
+		return ex
+	case expr.Union:
+		terms := make([]expr.Expr, len(v.Terms))
+		for i, t := range v.Terms {
+			terms[i] = reverseExpr(t, derived)
+		}
+		return expr.NewUnion(terms...)
+	case expr.Concat:
+		terms := make([]expr.Expr, len(v.Terms))
+		for i, t := range v.Terms {
+			terms[len(v.Terms)-1-i] = reverseExpr(t, derived)
+		}
+		return expr.NewConcat(terms...)
+	case expr.Star:
+		return expr.NewStar(reverseExpr(v.E, derived))
+	case expr.Inverse:
+		if p, ok := v.E.(expr.Pred); ok && !derived[p.Name] {
+			return p
+		}
+		return reverseExpr(expr.Reverse(v.E), derived)
+	}
+	return ex
+}
+
+// cyclicBound computes the m·n iteration bound for equations of the
+// linear shape p = e0 ∪ e1·p·e2: m is the number of nodes accessible from
+// the query constant by repeated application of e1, and n the number of
+// nodes accessible via e2 from the e0-images of those (the paper's D1 and
+// D2 sets). Returns 0 when the shape does not apply.
+func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym) int {
+	shape, ok := sys.LinearDecompose(pred)
+	if !ok {
+		return 0
+	}
+	d1 := e.accessible(shape.E1, []symtab.Sym{a})
+	starts2 := e.imageSet(shape.E0, d1)
+	d2 := e.accessible(shape.E2, starts2)
+	m, n := len(d1), len(d2)
+	if m == 0 {
+		m = 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	return m * n
+}
+
+// accessible returns the set of terms reachable from starts by zero or
+// more applications of the relation denoted by ex (including the starts).
+func (e *Engine) accessible(ex expr.Expr, starts []symtab.Sym) []symtab.Sym {
+	m := automaton.Compile(ex)
+	seen := make(map[symtab.Sym]bool)
+	work := append([]symtab.Sym(nil), starts...)
+	for _, s := range starts {
+		seen[s] = true
+	}
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, v := range e.regularImage(m, u) {
+			if !seen[v] {
+				seen[v] = true
+				work = append(work, v)
+			}
+		}
+	}
+	return sortedSyms(seen)
+}
+
+// imageSet returns the union of images of the given terms under ex.
+func (e *Engine) imageSet(ex expr.Expr, starts []symtab.Sym) []symtab.Sym {
+	m := automaton.Compile(ex)
+	out := make(map[symtab.Sym]bool)
+	for _, s := range starts {
+		for _, v := range e.regularImage(m, s) {
+			out[v] = true
+		}
+	}
+	return sortedSyms(out)
+}
+
+// regularImage runs a single-iteration traversal of a derived-free
+// automaton from (start, u) and returns the terms at the final state.
+func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym) []symtab.Sym {
+	G := map[node]bool{{m.Start, u}: true}
+	stack := []node{{m.Start, u}}
+	out := make(map[symtab.Sym]bool)
+	if m.Start == m.Final {
+		out[u] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		m.Out(n.q, func(_ int, t automaton.Trans) {
+			var vs []symtab.Sym
+			switch {
+			case t.Label.IsID():
+				vs = []symtab.Sym{n.u}
+			case t.Label.Inv:
+				vs = e.src.Predecessors(t.Label.Pred, n.u)
+			default:
+				vs = e.src.Successors(t.Label.Pred, n.u)
+			}
+			for _, v := range vs {
+				nn := node{t.To, v}
+				if !G[nn] {
+					G[nn] = true
+					stack = append(stack, nn)
+					if nn.q == m.Final {
+						out[v] = true
+					}
+				}
+			}
+		})
+	}
+	return sortedSyms(out)
+}
+
+// allPairsRegular evaluates p(X,Y) for all sources at once in the regular
+// case. It constructs the interpretation graph over all sources, condenses
+// it with Tarjan's algorithm, and propagates final-state term sets over
+// the condensation in reverse topological order, so subgraphs shared
+// between sources are traversed once (the optimization the paper
+// attributes to [19, 21]).
+func (e *Engine) allPairsRegular(eq expr.Expr, domain []symtab.Sym) ([][2]symtab.Sym, *Result, error) {
+	m := automaton.Compile(eq)
+	res := &Result{Iterations: 1, Converged: true}
+
+	ids := make(map[node]int)
+	var nodes []node
+	g := graph.New(0)
+	intern := func(n node) int {
+		if id, ok := ids[n]; ok {
+			return id
+		}
+		id := g.AddNode()
+		ids[n] = id
+		nodes = append(nodes, n)
+		return id
+	}
+
+	var stack []int
+	sources := make([]int, len(domain))
+	for i, a := range domain {
+		n := node{m.Start, a}
+		if _, ok := ids[n]; !ok {
+			id := intern(n)
+			stack = append(stack, id)
+		}
+		sources[i] = ids[n]
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[id]
+		m.Out(n.q, func(_ int, t automaton.Trans) {
+			var vs []symtab.Sym
+			switch {
+			case t.Label.IsID():
+				vs = []symtab.Sym{n.u}
+			case t.Label.Inv:
+				vs = e.src.Predecessors(t.Label.Pred, n.u)
+			default:
+				vs = e.src.Successors(t.Label.Pred, n.u)
+			}
+			for _, v := range vs {
+				nn := node{t.To, v}
+				before := len(ids)
+				nid := intern(nn)
+				if len(ids) > before {
+					stack = append(stack, nid)
+				}
+				g.AddEdge(id, nid)
+			}
+		})
+	}
+	res.Nodes = len(nodes)
+	if e.opts.MaxNodes > 0 && res.Nodes > e.opts.MaxNodes {
+		return nil, nil, fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
+	}
+
+	// Condense and propagate final-state terms bottom-up.
+	dag, comp := g.Condense()
+	ncomp := dag.Len()
+	own := make([]map[symtab.Sym]bool, ncomp)
+	for id, n := range nodes {
+		if n.q == m.Final {
+			c := comp[id]
+			if own[c] == nil {
+				own[c] = make(map[symtab.Sym]bool)
+			}
+			own[c][n.u] = true
+		}
+	}
+	// Tarjan numbers components in reverse topological order: successors
+	// of c have smaller indices, so process components in increasing
+	// index order to have successor sets ready.
+	reach := make([]map[symtab.Sym]bool, ncomp)
+	for c := 0; c < ncomp; c++ {
+		set := make(map[symtab.Sym]bool)
+		for t := range own[c] {
+			set[t] = true
+		}
+		for _, d := range dag.Succ(c) {
+			for t := range reach[d] {
+				set[t] = true
+			}
+		}
+		reach[c] = set
+	}
+
+	var pairs [][2]symtab.Sym
+	for i, a := range domain {
+		for t := range reach[comp[sources[i]]] {
+			pairs = append(pairs, [2]symtab.Sym{a, t})
+		}
+	}
+	sortPairs(pairs)
+	return pairs, res, nil
+}
+
+func sortedSyms(set map[symtab.Sym]bool) []symtab.Sym {
+	out := make([]symtab.Sym, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortPairs(pairs [][2]symtab.Sym) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+}

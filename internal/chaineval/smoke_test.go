@@ -1,0 +1,75 @@
+package chaineval
+
+import (
+	"testing"
+
+	"chainlog/internal/edb"
+	"chainlog/internal/equations"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+)
+
+const sgProgram = `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+`
+
+// TestSGSmoke runs the full pipeline (parse → Lemma 1 → automaton →
+// traversal) on the paper's same-generation program with a small
+// genealogy.
+func TestSGSmoke(t *testing.T) {
+	st := symtab.NewTable()
+	res := parser.MustParse(sgProgram, st)
+	sys, err := equations.Transform(res.Program)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	t.Logf("equations:\n%s", sys.Render())
+
+	store := edb.NewStore(st)
+	// up: child -> parent; down: parent -> child; flat: identity-ish link.
+	//
+	//        gp
+	//       /  \
+	//      p1    p2        flat(gp,gp2), and gp2 has children q1,q2
+	//     /  \    \
+	//    john a    b
+	add := func(pred, x, y string) { store.Insert(pred, st.Intern(x), st.Intern(y)) }
+	add("up", "john", "p1")
+	add("up", "a", "p1")
+	add("up", "b", "p2")
+	add("up", "p1", "gp")
+	add("up", "p2", "gp")
+	add("flat", "gp", "gp2")
+	add("down", "gp2", "q1")
+	add("down", "q1", "c1")
+	add("flat", "p1", "p1")
+	add("down", "p1", "john")
+	add("down", "p1", "a")
+
+	eng := New(sys, StoreSource{Store: store}, Options{})
+	r, err := eng.Query("sg", st.Intern("john"))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	got := make([]string, 0, len(r.Answers))
+	for _, s := range r.Answers {
+		got = append(got, st.Name(s))
+	}
+	t.Logf("answers=%v iterations=%d nodes=%d", got, r.Iterations, r.Nodes)
+	// sg(john, Y):
+	//  depth 1: up john->p1, flat(p1,p1), down p1->{john,a} => john, a
+	//  depth 2: up² john->gp, flat(gp,gp2), down² gp2->q1->c1 => c1
+	want := map[string]bool{"john": true, "a": true, "c1": true}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Fatalf("unexpected answer %s (got %v)", g, got)
+		}
+	}
+	if !r.Converged {
+		t.Fatal("expected convergence on acyclic data")
+	}
+}

@@ -1,0 +1,38 @@
+package chaineval
+
+import (
+	"chainlog/internal/edb"
+	"chainlog/internal/symtab"
+)
+
+// StoreSource adapts an extensional store to the Source interface.
+type StoreSource struct {
+	Store *edb.Store
+}
+
+// Successors returns all v with pred(u, v) in the store.
+func (s StoreSource) Successors(pred string, u symtab.Sym) []symtab.Sym {
+	return s.Store.Relation(pred).Successors(u)
+}
+
+// Predecessors returns all u with pred(u, v) in the store.
+func (s StoreSource) Predecessors(pred string, v symtab.Sym) []symtab.Sym {
+	return s.Store.Relation(pred).Predecessors(v)
+}
+
+// FuncSource builds a Source from closures; used by tests and by virtual
+// relation layers that fall back to a store.
+type FuncSource struct {
+	Succ func(pred string, u symtab.Sym) []symtab.Sym
+	Pred func(pred string, v symtab.Sym) []symtab.Sym
+}
+
+// Successors invokes the Succ closure.
+func (f FuncSource) Successors(pred string, u symtab.Sym) []symtab.Sym {
+	return f.Succ(pred, u)
+}
+
+// Predecessors invokes the Pred closure.
+func (f FuncSource) Predecessors(pred string, v symtab.Sym) []symtab.Sym {
+	return f.Pred(pred, v)
+}

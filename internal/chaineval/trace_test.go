@@ -1,0 +1,68 @@
+package chaineval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chainlog/internal/symtab"
+	"chainlog/internal/workload"
+)
+
+func TestCountingTracerMatchesResult(t *testing.T) {
+	st := symtab.NewTable()
+	w := workload.SampleC(st, 10)
+	var c CountingTracer
+	eng := sgEngine(t, w.Store, Options{Tracer: &c})
+	res, err := eng.Query("sg", w.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Iterations != res.Iterations {
+		t.Fatalf("tracer iterations %d != result %d", c.Iterations, res.Iterations)
+	}
+	if c.Nodes != res.Nodes {
+		t.Fatalf("tracer nodes %d != result %d", c.Nodes, res.Nodes)
+	}
+	if c.Expansions != res.Expansions {
+		t.Fatalf("tracer expansions %d != result %d", c.Expansions, res.Expansions)
+	}
+	if c.Answers != len(res.Answers) {
+		t.Fatalf("tracer answers %d != result %d", c.Answers, len(res.Answers))
+	}
+}
+
+func TestWriterTracerOutput(t *testing.T) {
+	st := symtab.NewTable()
+	w := workload.SampleA(st, 3)
+	var buf bytes.Buffer
+	tr := &WriterTracer{W: &buf, St: st}
+	eng := sgEngine(t, w.Store, Options{Tracer: tr})
+	if _, err := eng.Query("sg", w.Query); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"-- iteration 1", "-- iteration 2", "expand sg", "answer w1", "node (q0, a)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriterTracerTruncation(t *testing.T) {
+	st := symtab.NewTable()
+	w := workload.SampleA(st, 50)
+	var buf bytes.Buffer
+	tr := &WriterTracer{W: &buf, St: st, MaxNodes: 5}
+	eng := sgEngine(t, w.Store, Options{Tracer: tr})
+	if _, err := eng.Query("sg", w.Query); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "truncated") {
+		t.Fatal("truncation marker missing")
+	}
+	if n := strings.Count(out, "   node "); n != 5 {
+		t.Fatalf("node lines = %d, want 5", n)
+	}
+}

@@ -1,0 +1,121 @@
+package counting
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"chainlog/internal/chaineval"
+	"chainlog/internal/equations"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+	"chainlog/internal/workload"
+)
+
+func sgShape(t *testing.T, st *symtab.Table) equations.LinearShape {
+	t.Helper()
+	res := parser.MustParse(workload.SGProgram, st)
+	sys, err := equations.Transform(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, ok := sys.LinearDecompose("sg")
+	if !ok {
+		t.Fatal("sg does not decompose")
+	}
+	return shape
+}
+
+func TestCountingMatchesChainOnSamples(t *testing.T) {
+	for _, gen := range []func(*symtab.Table, int) *workload.SG{
+		workload.SampleA, workload.SampleB, workload.SampleC,
+	} {
+		st := symtab.NewTable()
+		w := gen(st, 20)
+		shape := sgShape(t, st)
+		src := chaineval.StoreSource{Store: w.Store}
+		got, stats := Evaluate(shape, src, w.Query, 0)
+
+		res := parser.MustParse(workload.SGProgram, st)
+		sys, _ := equations.Transform(res.Program)
+		eng := chaineval.New(sys, src, chaineval.Options{})
+		want, err := eng.Query("sg", w.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want.Answers) {
+			t.Fatalf("counting disagrees with chain engine: %v vs %v", got, want.Answers)
+		}
+		if stats.Levels == 0 {
+			t.Fatal("no levels recorded")
+		}
+	}
+}
+
+func TestCountingCyclicBound(t *testing.T) {
+	st := symtab.NewTable()
+	w := workload.Cyclic(st, 3, 4)
+	shape := sgShape(t, st)
+	src := chaineval.StoreSource{Store: w.Store}
+	got, stats := Evaluate(shape, src, w.Query, 0)
+	if !stats.BoundStopped {
+		t.Fatal("cyclic run should stop via the bound")
+	}
+	if len(got) != 4 {
+		t.Fatalf("answers = %d, want 4", len(got))
+	}
+}
+
+func TestReverseCountingAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		st := symtab.NewTable()
+		w := workload.RandomTree(st, 15, 0.4, seed)
+		shape := sgShape(t, st)
+		src := chaineval.StoreSource{Store: w.Store}
+		fwd, _ := Evaluate(shape, src, w.Query, 0)
+		rev, _ := EvaluateReverse(shape, src, w.Query, 0)
+		return reflect.DeepEqual(fwd, rev)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper: "the time bounds for our method are identical to those of
+// the counting method" — counting's work on sample (b) is quadratic, on
+// samples (a) and (c) linear.
+func TestCountingGrowthShapes(t *testing.T) {
+	work := func(gen func(*symtab.Table, int) *workload.SG, n int) int {
+		st := symtab.NewTable()
+		w := gen(st, n)
+		shape := sgShape(t, st)
+		_, stats := Evaluate(shape, chaineval.StoreSource{Store: w.Store}, w.Query, 0)
+		return stats.UpSize + stats.FlatSize + stats.DownSize
+	}
+	for _, tc := range []struct {
+		name     string
+		gen      func(*symtab.Table, int) *workload.SG
+		min, max float64
+	}{
+		{"sampleA", workload.SampleA, 1.5, 2.6},
+		{"sampleB", workload.SampleB, 3.0, 4.8},
+		{"sampleC", workload.SampleC, 1.5, 2.6},
+	} {
+		w1 := work(tc.gen, 64)
+		w2 := work(tc.gen, 128)
+		ratio := float64(w2) / float64(w1)
+		if ratio < tc.min || ratio > tc.max {
+			t.Errorf("%s: work ratio = %.2f, want [%.1f, %.1f]", tc.name, ratio, tc.min, tc.max)
+		}
+	}
+}
+
+func TestEmptyQueryConstant(t *testing.T) {
+	st := symtab.NewTable()
+	w := workload.SampleA(st, 5)
+	shape := sgShape(t, st)
+	got, _ := Evaluate(shape, chaineval.StoreSource{Store: w.Store}, st.Intern("nosuch"), 0)
+	if len(got) != 0 {
+		t.Fatalf("answers for unknown constant: %v", got)
+	}
+}

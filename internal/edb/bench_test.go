@@ -1,0 +1,66 @@
+package edb
+
+import (
+	"fmt"
+	"testing"
+
+	"chainlog/internal/symtab"
+)
+
+// BenchmarkInsert measures tuple ingestion with dedup.
+func BenchmarkInsert(b *testing.B) {
+	st := symtab.NewTable()
+	syms := make([]symtab.Sym, 1024)
+	for i := range syms {
+		syms[i] = st.Intern(fmt.Sprintf("c%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewStore(st)
+		for k := 0; k < 1024; k++ {
+			s.Insert("edge", syms[k], syms[(k*7+1)%1024])
+		}
+	}
+	b.ReportMetric(1024, "tuples/op")
+}
+
+// BenchmarkSuccessors measures the binary adjacency fast path (the
+// paper's per-tuple retrieval time t).
+func BenchmarkSuccessors(b *testing.B) {
+	st := symtab.NewTable()
+	s := NewStore(st)
+	syms := make([]symtab.Sym, 1024)
+	for i := range syms {
+		syms[i] = st.Intern(fmt.Sprintf("c%d", i))
+	}
+	for k := 0; k < 4096; k++ {
+		s.Insert("edge", syms[k%1024], syms[(k*13+5)%1024])
+	}
+	r := s.Relation("edge")
+	r.Successors(syms[0]) // build adjacency
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Successors(syms[i%1024])
+	}
+}
+
+// BenchmarkMatch measures indexed n-ary pattern lookups (flight-style
+// 4-column relation, two bound columns).
+func BenchmarkMatch(b *testing.B) {
+	st := symtab.NewTable()
+	s := NewStore(st)
+	syms := make([]symtab.Sym, 256)
+	for i := range syms {
+		syms[i] = st.Intern(fmt.Sprintf("c%d", i))
+	}
+	for k := 0; k < 8192; k++ {
+		s.Insert("flight", syms[k%256], syms[(k*3)%256], syms[(k*5)%256], syms[(k*7)%256])
+	}
+	r := s.Relation("flight")
+	mask := uint32(1<<0 | 1<<1)
+	r.Match(mask, []symtab.Sym{syms[0], syms[0]}) // build index
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Match(mask, []symtab.Sym{syms[i%256], syms[(i*3)%256]})
+	}
+}

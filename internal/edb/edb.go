@@ -1,0 +1,327 @@
+// Package edb implements the extensional database: a fact store with
+// lazily built hash indexes per binding pattern and retrieval counters.
+//
+// The paper's complexity statements charge time t per tuple retrieval and
+// measure strategies by the number of "potentially relevant facts"
+// consulted. The store therefore provides constant-expected-time indexed
+// retrieval and counts every lookup and every tuple returned, so the
+// benchmark harness can report retrieval counts alongside wall time.
+package edb
+
+import (
+	"fmt"
+	"sort"
+
+	"chainlog/internal/symtab"
+)
+
+// Counters accumulates access statistics across a store's relations.
+type Counters struct {
+	// Lookups is the number of index probes (Successors, Predecessors,
+	// Match calls).
+	Lookups int64
+	// Retrieved is the total number of tuples returned by probes.
+	Retrieved int64
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Store holds all extensional relations of one database instance.
+type Store struct {
+	st    *symtab.Table
+	rels  map[string]*Relation
+	names []string
+	// Counters is shared by every relation in the store.
+	Counters Counters
+}
+
+// NewStore returns an empty store over the given symbol table.
+func NewStore(st *symtab.Table) *Store {
+	return &Store{st: st, rels: make(map[string]*Relation)}
+}
+
+// SymTab returns the store's symbol table.
+func (s *Store) SymTab() *symtab.Table { return s.st }
+
+// Insert adds a tuple to relation pred, creating the relation on first
+// use. Inserting a duplicate tuple is a no-op. Insert panics if pred is
+// reused with a different arity; programs are arity-checked before load.
+func (s *Store) Insert(pred string, args ...symtab.Sym) {
+	r, ok := s.rels[pred]
+	if !ok {
+		r = newRelation(s, pred, len(args))
+		s.rels[pred] = r
+		s.names = append(s.names, pred)
+	}
+	r.insert(args)
+}
+
+// Relation returns the named relation, or nil if it has no facts.
+func (s *Store) Relation(pred string) *Relation { return s.rels[pred] }
+
+// Relations returns all relation names in insertion order.
+func (s *Store) Relations() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Size returns the total number of tuples in the store.
+func (s *Store) Size() int {
+	n := 0
+	for _, r := range s.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the store sharing the symbol table. Indexes
+// are not copied; they rebuild lazily. Counters start at zero.
+func (s *Store) Clone() *Store {
+	out := NewStore(s.st)
+	for _, name := range s.names {
+		r := s.rels[name]
+		nr := newRelation(out, name, r.arity)
+		nr.flat = append([]symtab.Sym(nil), r.flat...)
+		nr.n = r.n
+		for k := range r.seen {
+			nr.seen[k] = true
+		}
+		out.rels[name] = nr
+		out.names = append(out.names, name)
+	}
+	return out
+}
+
+// Relation is one stored relation. Tuples live in a flat slice with a
+// stride of arity; indexes map encoded bound-column values to tuple
+// offsets and are built on first use per binding pattern.
+type Relation struct {
+	store *Store
+	name  string
+	arity int
+	n     int // tuple count (flat length / arity, except for arity 0)
+	flat  []symtab.Sym
+	seen  map[string]bool
+	// indexes[mask] indexes the columns whose bit is set in mask.
+	indexes map[uint32]map[string][]int32
+	// adjacency caches for the binary fast path
+	fwd map[symtab.Sym][]symtab.Sym
+	rev map[symtab.Sym][]symtab.Sym
+}
+
+func newRelation(s *Store, name string, arity int) *Relation {
+	return &Relation{
+		store:   s,
+		name:    name,
+		arity:   arity,
+		seen:    make(map[string]bool),
+		indexes: make(map[uint32]map[string][]int32),
+	}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples. Zero-arity relations (propositional
+// predicates) hold at most one tuple, the empty tuple.
+func (r *Relation) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+func (r *Relation) insert(args []symtab.Sym) {
+	if len(args) != r.arity {
+		panic(fmt.Sprintf("edb: %s arity %d, got %d args", r.name, r.arity, len(args)))
+	}
+	key := encode(args)
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	r.flat = append(r.flat, args...)
+	r.n++
+	// Invalidate caches: appending keeps existing index entries valid,
+	// so extend instead of dropping when already built.
+	idx := int32(r.n - 1)
+	for mask, m := range r.indexes {
+		k := encodeMasked(args, mask)
+		m[k] = append(m[k], idx)
+	}
+	if r.fwd != nil && r.arity == 2 {
+		r.fwd[args[0]] = append(r.fwd[args[0]], args[1])
+	}
+	if r.rev != nil && r.arity == 2 {
+		r.rev[args[1]] = append(r.rev[args[1]], args[0])
+	}
+}
+
+// Tuple returns the i-th tuple (aliasing internal storage; callers must
+// not mutate it).
+func (r *Relation) Tuple(i int) []symtab.Sym {
+	return r.flat[i*r.arity : (i+1)*r.arity]
+}
+
+// Each calls f for every tuple. The slice passed to f aliases internal
+// storage. Iteration counts as retrieving every tuple.
+func (r *Relation) Each(f func(tuple []symtab.Sym)) {
+	if r == nil {
+		return
+	}
+	r.store.Counters.Lookups++
+	n := r.Len()
+	r.store.Counters.Retrieved += int64(n)
+	for i := 0; i < n; i++ {
+		f(r.Tuple(i))
+	}
+}
+
+// Contains reports whether the tuple is present.
+func (r *Relation) Contains(args []symtab.Sym) bool {
+	if r == nil {
+		return false
+	}
+	r.store.Counters.Lookups++
+	if r.seen[encode(args)] {
+		r.store.Counters.Retrieved++
+		return true
+	}
+	return false
+}
+
+// Successors returns all v with r(u, v). Binary relations only. The
+// returned slice aliases the adjacency cache.
+func (r *Relation) Successors(u symtab.Sym) []symtab.Sym {
+	if r == nil {
+		return nil
+	}
+	if r.arity != 2 {
+		panic("edb: Successors on non-binary relation " + r.name)
+	}
+	if r.fwd == nil {
+		r.fwd = make(map[symtab.Sym][]symtab.Sym)
+		for i := 0; i < r.Len(); i++ {
+			t := r.Tuple(i)
+			r.fwd[t[0]] = append(r.fwd[t[0]], t[1])
+		}
+	}
+	r.store.Counters.Lookups++
+	out := r.fwd[u]
+	r.store.Counters.Retrieved += int64(len(out))
+	return out
+}
+
+// Predecessors returns all u with r(u, v). Binary relations only.
+func (r *Relation) Predecessors(v symtab.Sym) []symtab.Sym {
+	if r == nil {
+		return nil
+	}
+	if r.arity != 2 {
+		panic("edb: Predecessors on non-binary relation " + r.name)
+	}
+	if r.rev == nil {
+		r.rev = make(map[symtab.Sym][]symtab.Sym)
+		for i := 0; i < r.Len(); i++ {
+			t := r.Tuple(i)
+			r.rev[t[1]] = append(r.rev[t[1]], t[0])
+		}
+	}
+	r.store.Counters.Lookups++
+	out := r.rev[v]
+	r.store.Counters.Retrieved += int64(len(out))
+	return out
+}
+
+// Domain returns the sorted distinct values of column col.
+func (r *Relation) Domain(col int) []symtab.Sym {
+	if r == nil {
+		return nil
+	}
+	set := make(map[symtab.Sym]bool)
+	for i := 0; i < r.Len(); i++ {
+		set[r.Tuple(i)[col]] = true
+	}
+	out := make([]symtab.Sym, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Match returns the offsets of tuples whose columns selected by mask equal
+// the corresponding entries of bound. bound must have one entry per set
+// bit of mask, in column order. Use MatchTuples to materialize.
+func (r *Relation) Match(mask uint32, bound []symtab.Sym) []int32 {
+	if r == nil {
+		return nil
+	}
+	if mask == 0 {
+		r.store.Counters.Lookups++
+		n := r.Len()
+		r.store.Counters.Retrieved += int64(n)
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	idx, ok := r.indexes[mask]
+	if !ok {
+		idx = make(map[string][]int32)
+		for i := 0; i < r.Len(); i++ {
+			k := encodeMasked(r.Tuple(i), mask)
+			idx[k] = append(idx[k], int32(i))
+		}
+		r.indexes[mask] = idx
+	}
+	r.store.Counters.Lookups++
+	out := idx[encodeBound(bound)]
+	r.store.Counters.Retrieved += int64(len(out))
+	return out
+}
+
+// MatchEach calls f with every tuple matching (mask, bound).
+func (r *Relation) MatchEach(mask uint32, bound []symtab.Sym, f func(tuple []symtab.Sym)) {
+	for _, i := range r.Match(mask, bound) {
+		f(r.Tuple(int(i)))
+	}
+}
+
+func encode(args []symtab.Sym) string {
+	b := make([]byte, 0, len(args)*5)
+	for _, a := range args {
+		v := uint32(a)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+	}
+	return string(b)
+}
+
+// encodeMasked encodes the columns of tuple selected by mask, in column
+// order; the result matches encodeBound of the same values.
+func encodeMasked(tuple []symtab.Sym, mask uint32) string {
+	b := make([]byte, 0, len(tuple)*5)
+	for i, a := range tuple {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		v := uint32(a)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+	}
+	return string(b)
+}
+
+func encodeBound(bound []symtab.Sym) string {
+	b := make([]byte, 0, len(bound)*5)
+	for _, a := range bound {
+		v := uint32(a)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,68 @@
+package equations
+
+import (
+	"fmt"
+	"testing"
+
+	"chainlog/internal/ast"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+)
+
+// BenchmarkTransformWorkedExample measures the Lemma 1 transformation on
+// the paper's 12-rule program.
+func BenchmarkTransformWorkedExample(b *testing.B) {
+	st := symtab.NewTable()
+	prog := parser.MustParse(`
+p1(X, Z) :- b(X, Y), p2(Y, Z).
+p1(X, Z) :- q1(X, Y), p3(Y, Z).
+p2(X, Z) :- c(X, Y), p1(Y, Z).
+p2(X, Z) :- d(X, Y), p3(Y, Z).
+p3(X, Y) :- a(X, Y).
+p3(X, Z) :- e(X, Y), p2(Y, Z).
+q1(X, Z) :- a(X, Y), q2(Y, Z).
+q2(X, Y) :- r2(X, Y).
+q2(X, Z) :- q1(X, Y), r1(Y, Z).
+r1(X, Y) :- b(X, Y).
+r1(X, Y) :- r2(X, Y).
+r2(X, Z) :- r1(X, Y), c(Y, Z).
+`, st).Program
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Transform(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransformWidePrograms measures the transformation on
+// synthetic right-linear programs of growing width (one SCC per layer).
+func BenchmarkTransformWidePrograms(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("layers=%d", k), func(b *testing.B) {
+			prog := &ast.Program{}
+			for i := 0; i < k; i++ {
+				p := fmt.Sprintf("p%d", i)
+				next := fmt.Sprintf("p%d", (i+1)%k)
+				prog.Rules = append(prog.Rules,
+					ast.Rule{
+						Head: ast.Atom(p, ast.V("X"), ast.V("Y")),
+						Body: []ast.Literal{ast.Atom(fmt.Sprintf("b%d", i), ast.V("X"), ast.V("Y"))},
+					},
+					ast.Rule{
+						Head: ast.Atom(p, ast.V("X"), ast.V("Z")),
+						Body: []ast.Literal{
+							ast.Atom(fmt.Sprintf("b%d", i), ast.V("X"), ast.V("Y")),
+							ast.Atom(next, ast.V("Y"), ast.V("Z")),
+						},
+					})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Transform(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

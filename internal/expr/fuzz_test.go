@@ -1,0 +1,27 @@
+package expr
+
+import "testing"
+
+// FuzzParse checks the expression parser never panics and accepted
+// expressions round-trip through String → Parse.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"a", "a U b", "a.b*", "(b3.b4* U b2.p).b1", "id", "0", "a~",
+		"((a))", "a U", ".a", "a**~*",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("accepted expr failed to reparse: %q -> %q: %v", src, e.String(), err)
+		}
+		if !Equal(e, e2) {
+			t.Fatalf("round trip changed: %q vs %q", e.String(), e2.String())
+		}
+	})
+}

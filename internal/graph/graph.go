@@ -1,0 +1,360 @@
+// Package graph provides the directed-graph substrate used throughout the
+// module: an adjacency-list digraph with iterative Tarjan strongly
+// connected components, condensation, topological order, reachability and
+// DAG longest paths.
+//
+// Lemma 1 steps 2 and 6 classify predicates as recursive/mutually
+// recursive via SCCs of the predicate dependency graph; the p(X,Y)
+// all-pairs optimization of Section 3 condenses the interpretation graph;
+// and Theorem 4's iteration bound is checked against the longest path in
+// e1|a.
+package graph
+
+import "sort"
+
+// Graph is a digraph over dense integer node IDs 0..n-1.
+type Graph struct {
+	adj [][]int
+}
+
+// New returns a graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int, n)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge adds a directed edge u→v. Duplicate edges are allowed; analyses
+// here are insensitive to multiplicity.
+func (g *Graph) AddEdge(u, v int) {
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// Succ returns the successor list of u (aliasing internal storage).
+func (g *Graph) Succ(u int) []int { return g.adj[u] }
+
+// HasEdge reports whether u→v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm. It returns (comp, count) where comp[v] is the component index
+// of node v; components are numbered in reverse topological order of the
+// condensation (i.e. comp[u] <= comp[v] whenever v→u is an inter-component
+// edge... specifically Tarjan emits components in reverse topological
+// order, so an edge u→v across components implies comp[v] < comp[u]).
+func (g *Graph) SCC() (comp []int, count int) {
+	n := g.Len()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	var frames []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames = frames[:0]
+		frames = append(frames, frame{v: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(g.adj[v]) {
+				w := g.adj[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, count
+}
+
+// Components groups node IDs by SCC, indexed by component number.
+func (g *Graph) Components() [][]int {
+	comp, count := g.SCC()
+	out := make([][]int, count)
+	for v, c := range comp {
+		out[c] = append(out[c], v)
+	}
+	return out
+}
+
+// Condense builds the condensation DAG of g: one node per SCC, with an
+// edge c1→c2 whenever some u in c1 has an edge to some v in c2 (c1 != c2).
+// It returns the DAG and the comp mapping.
+func (g *Graph) Condense() (*Graph, []int) {
+	comp, count := g.SCC()
+	dag := New(count)
+	seen := make(map[[2]int]bool)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			cu, cv := comp[u], comp[v]
+			if cu == cv {
+				continue
+			}
+			k := [2]int{cu, cv}
+			if !seen[k] {
+				seen[k] = true
+				dag.AddEdge(cu, cv)
+			}
+		}
+	}
+	return dag, comp
+}
+
+// InCycle reports, for each node, whether it lies on a cycle (i.e. its SCC
+// has size > 1, or it has a self-loop). This is the paper's definition of
+// a recursive predicate in the dependency graph.
+func (g *Graph) InCycle() []bool {
+	comp, count := g.SCC()
+	size := make([]int, count)
+	for _, c := range comp {
+		size[c]++
+	}
+	out := make([]bool, g.Len())
+	for v := range out {
+		if size[comp[v]] > 1 || g.HasEdge(v, v) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// Topo returns a topological order of a DAG (panics if a cycle is found).
+func (g *Graph) Topo() []int {
+	n := g.Len()
+	indeg := make([]int, n)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			indeg[v]++
+		}
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	out := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		out = append(out, v)
+		for _, w := range g.adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(out) != n {
+		panic("graph: Topo called on a cyclic graph")
+	}
+	return out
+}
+
+// Reachable returns the set of nodes reachable from start (including
+// start) as a boolean slice.
+func (g *Graph) Reachable(start int) []bool {
+	seen := make([]bool, g.Len())
+	stack := []int{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// LongestPathFrom returns the length (in edges) of the longest simple path
+// starting at start, assuming the subgraph reachable from start is acyclic;
+// it returns ok=false if a cycle is reachable. This is Theorem 4's bound h
+// on the number of main-loop iterations.
+func (g *Graph) LongestPathFrom(start int) (length int, ok bool) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, g.Len())
+	depth := make([]int, g.Len())
+	cyclic := false
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	var frames []frame
+	frames = append(frames, frame{v: start})
+	color[start] = gray
+	for len(frames) > 0 {
+		f := &frames[len(frames)-1]
+		v := f.v
+		advanced := false
+		for f.ei < len(g.adj[v]) {
+			w := g.adj[v][f.ei]
+			f.ei++
+			switch color[w] {
+			case white:
+				color[w] = gray
+				frames = append(frames, frame{v: w})
+				advanced = true
+			case gray:
+				cyclic = true
+			case black:
+				if depth[w]+1 > depth[v] {
+					depth[v] = depth[w] + 1
+				}
+			}
+			if advanced {
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		color[v] = black
+		frames = frames[:len(frames)-1]
+		if len(frames) > 0 {
+			p := frames[len(frames)-1].v
+			if depth[v]+1 > depth[p] {
+				depth[p] = depth[v] + 1
+			}
+		}
+	}
+	if cyclic {
+		return 0, false
+	}
+	return depth[start], true
+}
+
+// Named is a digraph over string-named nodes, a convenience wrapper used
+// for predicate dependency graphs.
+type Named struct {
+	G     *Graph
+	ids   map[string]int
+	names []string
+}
+
+// NewNamed returns an empty named graph.
+func NewNamed() *Named {
+	return &Named{G: New(0), ids: make(map[string]int)}
+}
+
+// Node interns a name and returns its node ID.
+func (n *Named) Node(name string) int {
+	if id, ok := n.ids[name]; ok {
+		return id
+	}
+	id := n.G.AddNode()
+	n.ids[name] = id
+	n.names = append(n.names, name)
+	return id
+}
+
+// AddEdge adds an edge between named nodes, interning both.
+func (n *Named) AddEdge(from, to string) {
+	n.G.AddEdge(n.Node(from), n.Node(to))
+}
+
+// Name returns the name for a node ID.
+func (n *Named) Name(id int) string { return n.names[id] }
+
+// Has reports whether the name has been interned.
+func (n *Named) Has(name string) bool {
+	_, ok := n.ids[name]
+	return ok
+}
+
+// ID returns the node ID of name and whether it exists.
+func (n *Named) ID(name string) (int, bool) {
+	id, ok := n.ids[name]
+	return id, ok
+}
+
+// SCCNames returns the strongly connected components as sorted name
+// slices, and a map from name to component index.
+func (n *Named) SCCNames() ([][]string, map[string]int) {
+	comp, count := n.G.SCC()
+	groups := make([][]string, count)
+	byName := make(map[string]int, len(n.names))
+	for id, c := range comp {
+		groups[c] = append(groups[c], n.names[id])
+		byName[n.names[id]] = c
+	}
+	for _, g := range groups {
+		sort.Strings(g)
+	}
+	return groups, byName
+}

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func buildGraph(n int, edges [][2]int) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestSCCSimpleCycle(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	comp, count := g.SCC()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("cycle nodes split: %v", comp)
+	}
+	if comp[3] == comp[0] {
+		t.Fatal("node 3 merged into cycle")
+	}
+	// Tarjan: inter-component edge u→v implies comp[v] < comp[u].
+	if comp[3] >= comp[0] {
+		t.Fatalf("reverse-topological numbering violated: %v", comp)
+	}
+}
+
+func TestSCCSelfLoopAndInCycle(t *testing.T) {
+	g := buildGraph(3, [][2]int{{0, 0}, {1, 2}})
+	in := g.InCycle()
+	if !in[0] {
+		t.Fatal("self-loop node not marked recursive")
+	}
+	if in[1] || in[2] {
+		t.Fatal("acyclic nodes marked recursive")
+	}
+}
+
+func TestComponentsGrouping(t *testing.T) {
+	g := buildGraph(5, [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 4}, {4, 2}})
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	sizes := []int{len(comps[0]), len(comps[1])}
+	sort.Ints(sizes)
+	if sizes[0] != 2 || sizes[1] != 3 {
+		t.Fatalf("component sizes %v", sizes)
+	}
+}
+
+func TestCondense(t *testing.T) {
+	g := buildGraph(4, [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}})
+	dag, comp := g.Condense()
+	if dag.Len() != 2 {
+		t.Fatalf("condensation has %d nodes", dag.Len())
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] {
+		t.Fatalf("bad comp mapping %v", comp)
+	}
+	if !dag.HasEdge(comp[0], comp[2]) {
+		t.Fatal("missing condensation edge")
+	}
+	if dag.HasEdge(comp[2], comp[0]) {
+		t.Fatal("spurious reverse condensation edge")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := buildGraph(5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}})
+	order := g.Topo()
+	pos := make([]int, 5)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for u := 0; u < 5; u++ {
+		for _, v := range g.Succ(u) {
+			if pos[u] >= pos[v] {
+				t.Fatalf("topo order violates edge %d→%d", u, v)
+			}
+		}
+	}
+}
+
+func TestTopoPanicsOnCycle(t *testing.T) {
+	g := buildGraph(2, [][2]int{{0, 1}, {1, 0}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Topo on cyclic graph did not panic")
+		}
+	}()
+	g.Topo()
+}
+
+func TestReachable(t *testing.T) {
+	g := buildGraph(5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	r := g.Reachable(0)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Reachable = %v", r)
+		}
+	}
+}
+
+func TestLongestPathFrom(t *testing.T) {
+	// Diamond with a tail: longest path 0→1→3→4 has 3 edges.
+	g := buildGraph(5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}})
+	l, ok := g.LongestPathFrom(0)
+	if !ok || l != 3 {
+		t.Fatalf("longest = %d ok=%v, want 3 true", l, ok)
+	}
+	// Unreachable cycle does not matter.
+	g.AddNode() // 5
+	g.AddNode() // 6
+	g.AddEdge(5, 6)
+	g.AddEdge(6, 5)
+	if _, ok := g.LongestPathFrom(0); !ok {
+		t.Fatal("unreachable cycle reported as cycle")
+	}
+	// Reachable cycle is detected.
+	g.AddEdge(4, 5)
+	if _, ok := g.LongestPathFrom(0); ok {
+		t.Fatal("reachable cycle not detected")
+	}
+}
+
+// Property: comp indexes components in reverse topological order — for
+// every edge u→v across components, comp[v] < comp[u]. Checked on random
+// graphs against a brute-force SCC (pairwise reachability).
+func TestSCCAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		g := New(n)
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		comp, _ := g.SCC()
+
+		// Brute force: u,v in same SCC iff u reaches v and v reaches u.
+		reach := make([][]bool, n)
+		for u := 0; u < n; u++ {
+			reach[u] = g.Reachable(u)
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := reach[u][v] && reach[v][u]
+				if same != (comp[u] == comp[v]) {
+					return false
+				}
+			}
+		}
+		// Reverse topological numbering.
+		for u := 0; u < n; u++ {
+			for _, v := range g.Succ(u) {
+				if comp[u] != comp[v] && comp[v] >= comp[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LongestPathFrom equals brute-force DFS longest path on random
+// DAGs.
+func TestLongestPathAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 1
+		g := New(n)
+		// Random DAG: edges only increase node index.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		var brute func(u int) int
+		brute = func(u int) int {
+			best := 0
+			for _, v := range g.Succ(u) {
+				if d := brute(v) + 1; d > best {
+					best = d
+				}
+			}
+			return best
+		}
+		got, ok := g.LongestPathFrom(0)
+		return ok && got == brute(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamedGraph(t *testing.T) {
+	n := NewNamed()
+	n.AddEdge("p", "q")
+	n.AddEdge("q", "p")
+	n.AddEdge("q", "r")
+	groups, byName := n.SCCNames()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if byName["p"] != byName["q"] {
+		t.Fatal("p and q should share a component")
+	}
+	if byName["r"] == byName["p"] {
+		t.Fatal("r merged with p/q")
+	}
+	if !n.Has("r") || n.Has("zzz") {
+		t.Fatal("Has misreports")
+	}
+	if id, ok := n.ID("p"); !ok || n.Name(id) != "p" {
+		t.Fatal("ID/Name round trip failed")
+	}
+}

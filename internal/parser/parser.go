@@ -1,0 +1,425 @@
+// Package parser implements a scanner and recursive-descent parser for the
+// Datalog text syntax used throughout this module:
+//
+//	% comment                  (also: // comment)
+//	sg(X, Y) :- flat(X, Y).
+//	sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+//	flat(a, b).                % a fact: all-constant head, empty body
+//	cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, cnx(D1,DT1,D,AT).
+//
+// Identifiers starting with an upper-case letter or '_' are variables;
+// identifiers starting with a lower-case letter, quoted strings, and
+// numbers are constants. The comparison built-ins <, <=, >, >=, =, != are
+// recognized in rule bodies.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"chainlog/internal/ast"
+	"chainlog/internal/symtab"
+)
+
+// Fact is a parsed ground fact destined for the extensional database.
+type Fact struct {
+	Pred string
+	Args []symtab.Sym
+}
+
+// Result holds a parsed program: the intensional rules and the extensional
+// facts, separated as the paper separates them.
+type Result struct {
+	Program *ast.Program
+	Facts   []Fact
+}
+
+// Parse parses a full program text. Constants are interned into st.
+func Parse(src string, st *symtab.Table) (*Result, error) {
+	p := &parser{lex: newLexer(src), st: st}
+	res := &Result{Program: &ast.Program{}}
+	for {
+		tok := p.peek()
+		if tok.kind == tokEOF {
+			break
+		}
+		rule, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		if len(rule.Body) == 0 && rule.Head.IsGround() && !rule.Head.IsBuiltin() {
+			args := make([]symtab.Sym, len(rule.Head.Args))
+			for i, a := range rule.Head.Args {
+				args[i] = a.Const
+			}
+			res.Facts = append(res.Facts, Fact{Pred: rule.Head.Pred, Args: args})
+			continue
+		}
+		// Empty-body rules with variables are kept as rules: the paper's
+		// reflexive-closure programs contain the identity rule p(X,X) :- .
+		res.Program.Rules = append(res.Program.Rules, rule)
+	}
+	// Base/derived disjointness (Section 2 assumption).
+	derived := res.Program.DerivedSet()
+	for _, f := range res.Facts {
+		if derived[f.Pred] {
+			return nil, fmt.Errorf("predicate %s appears both as a fact and as a rule head", f.Pred)
+		}
+	}
+	return res, nil
+}
+
+// ParseQuery parses a query literal such as "sg(john, Y)" with an optional
+// trailing '?' or '.'.
+func ParseQuery(src string, st *symtab.Table) (ast.Query, error) {
+	p := &parser{lex: newLexer(src), st: st}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return ast.Query{}, err
+	}
+	if lit.IsBuiltin() {
+		return ast.Query{}, fmt.Errorf("query must be an ordinary literal")
+	}
+	tok := p.peek()
+	if tok.kind == tokQuestion || tok.kind == tokDot {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return ast.Query{}, fmt.Errorf("line %d: unexpected %q after query", p.lex.line, t.text)
+	}
+	return ast.Query{Literal: lit}, nil
+}
+
+// MustParse is Parse for tests and examples with known-good sources.
+func MustParse(src string, st *symtab.Table) *Result {
+	r, err := Parse(src, st)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// MustParseQuery is ParseQuery for known-good sources.
+func MustParseQuery(src string, st *symtab.Table) ast.Query {
+	q, err := ParseQuery(src, st)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokIf // :-
+	tokOp // comparison
+	tokQuestion
+)
+
+type token struct {
+	kind tokKind
+	text string
+	op   ast.BuiltinOp
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", line: l.line}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", line: l.line}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", line: l.line}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", line: l.line}, nil
+	case c == '?':
+		l.pos++
+		return token{kind: tokQuestion, text: "?", line: l.line}, nil
+	case c == ':':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			l.pos += 2
+			return token{kind: tokIf, text: ":-", line: l.line}, nil
+		}
+		return token{}, fmt.Errorf("line %d: unexpected ':'", l.line)
+	case c == '<':
+		if l.peekByte(1) == '=' {
+			l.pos += 2
+			return token{kind: tokOp, op: ast.OpLE, text: "<=", line: l.line}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, op: ast.OpLT, text: "<", line: l.line}, nil
+	case c == '>':
+		if l.peekByte(1) == '=' {
+			l.pos += 2
+			return token{kind: tokOp, op: ast.OpGE, text: ">=", line: l.line}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, op: ast.OpGT, text: ">", line: l.line}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, op: ast.OpEQ, text: "=", line: l.line}, nil
+	case c == '!':
+		if l.peekByte(1) == '=' {
+			l.pos += 2
+			return token{kind: tokOp, op: ast.OpNE, text: "!=", line: l.line}, nil
+		}
+		return token{}, fmt.Errorf("line %d: unexpected '!'", l.line)
+	case c == '\'':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			if l.src[l.pos] == '\n' {
+				return token{}, fmt.Errorf("line %d: unterminated quoted constant", l.line)
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("line %d: unterminated quoted constant", l.line)
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, line: l.line}, nil
+	case isDigit(rune(c)) || c == '-' && isDigit(rune(l.peekByte(1))):
+		l.pos++
+		for l.pos < len(l.src) && (isDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_' && false) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case isIdentStart(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if unicode.IsUpper(rune(text[0])) || text[0] == '_' {
+			return token{kind: tokVar, text: text, line: l.line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: l.line}, nil
+	}
+	return token{}, fmt.Errorf("line %d: unexpected character %q", l.line, string(c))
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) peekByte(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func isDigit(c rune) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-'
+}
+
+type parser struct {
+	lex    *lexer
+	st     *symtab.Table
+	tok    token
+	hasTok bool
+	err    error
+}
+
+func (p *parser) peek() token {
+	if !p.hasTok {
+		t, err := p.lex.next()
+		if err != nil {
+			p.err = err
+			t = token{kind: tokEOF, line: p.lex.line}
+		}
+		p.tok = t
+		p.hasTok = true
+	}
+	return p.tok
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.hasTok = false
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if p.err != nil {
+		return t, p.err
+	}
+	if t.kind != k {
+		return t, fmt.Errorf("line %d: expected %s, got %q", t.line, what, t.text)
+	}
+	return t, nil
+}
+
+// parseRule parses: literal [ ":-" literal {"," literal} ] "."
+func (p *parser) parseRule() (ast.Rule, error) {
+	head, err := p.parseLiteral()
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	if head.IsBuiltin() {
+		return ast.Rule{}, fmt.Errorf("line %d: rule head cannot be a built-in", p.lex.line)
+	}
+	var body []ast.Literal
+	if p.peek().kind == tokIf {
+		p.next()
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return ast.Rule{}, err
+			}
+			body = append(body, lit)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokDot, "'.'"); err != nil {
+		return ast.Rule{}, err
+	}
+	return ast.Rule{Head: head, Body: body}, nil
+}
+
+// parseLiteral parses p(args) or "term op term".
+func (p *parser) parseLiteral() (ast.Literal, error) {
+	t := p.peek()
+	if t.kind == tokVar || t.kind == tokNumber || t.kind == tokString {
+		// Must be a comparison: term op term.
+		left, err := p.parseTerm()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		opTok, err := p.expect(tokOp, "comparison operator")
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		return ast.Builtin(opTok.op, left, right), nil
+	}
+	name, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	// An identifier followed by a comparison op is a constant comparison.
+	if p.peek().kind == tokOp {
+		opTok := p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		return ast.Builtin(opTok.op, ast.C(p.st.Intern(name.text)), right), nil
+	}
+	if p.peek().kind != tokLParen {
+		return ast.Atom(name.text), nil
+	}
+	p.next()
+	var args []ast.Term
+	if p.peek().kind != tokRParen {
+		for {
+			arg, err := p.parseTerm()
+			if err != nil {
+				return ast.Literal{}, err
+			}
+			args = append(args, arg)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return ast.Literal{}, err
+	}
+	return ast.Atom(name.text, args...), nil
+}
+
+func (p *parser) parseTerm() (ast.Term, error) {
+	t := p.next()
+	if p.err != nil {
+		return ast.Term{}, p.err
+	}
+	switch t.kind {
+	case tokVar:
+		return ast.V(t.text), nil
+	case tokIdent, tokNumber:
+		return ast.C(p.st.Intern(t.text)), nil
+	case tokString:
+		return ast.C(p.st.Intern(t.text)), nil
+	}
+	return ast.Term{}, fmt.Errorf("line %d: expected term, got %q", t.line, t.text)
+}
+
+// FormatFacts renders facts back to program text, one per line, for
+// round-trip tests and debugging. Constants are quoted where needed so
+// the output reparses to the same facts.
+func FormatFacts(facts []Fact, st *symtab.Table) string {
+	var b strings.Builder
+	for _, f := range facts {
+		b.WriteString(f.Pred)
+		b.WriteByte('(')
+		for i, a := range f.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(ast.C(a).Render(st))
+		}
+		b.WriteString(").\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+// Package regimage evaluates derived-free ("regular") relational
+// expressions node-at-a-time: given a source of base relations and an
+// expression e, it computes images of single terms or term sets under the
+// relation denoted by e by traversing the automaton M(e).
+//
+// This is the set-at-a-time primitive shared by the comparison methods
+// (Henschen–Naqvi and counting) and by the cyclic-bound computation: all
+// of them repeatedly apply e1, e0 and e2 images for equations of the
+// shape p = e0 ∪ e1·p·e2.
+package regimage
+
+import (
+	"sort"
+
+	"chainlog/internal/automaton"
+	"chainlog/internal/chaineval"
+	"chainlog/internal/expr"
+	"chainlog/internal/symtab"
+)
+
+// Evaluator computes images under one compiled expression.
+type Evaluator struct {
+	m   *automaton.NFA
+	src chaineval.Source
+}
+
+// New compiles e (which must not mention derived predicates) for the
+// given source.
+func New(e expr.Expr, src chaineval.Source) *Evaluator {
+	return &Evaluator{m: automaton.Compile(e), src: src}
+}
+
+type node struct {
+	q int
+	u symtab.Sym
+}
+
+// Image returns the sorted image of u: all v with e(u, v).
+func (ev *Evaluator) Image(u symtab.Sym) []symtab.Sym {
+	return ev.ImageSet([]symtab.Sym{u})
+}
+
+// ImageSet returns the sorted union of images of the given terms. The
+// traversal memoizes (state, term) nodes within one call, so overlapping
+// paths from different sources are walked once per call — but not across
+// calls (which is exactly the Henschen–Naqvi drawback the paper's sample
+// (c) exposes; the comparison methods call ImageSet once per level).
+func (ev *Evaluator) ImageSet(us []symtab.Sym) []symtab.Sym {
+	G := make(map[node]bool)
+	var stack []node
+	out := make(map[symtab.Sym]bool)
+	visit := func(n node) {
+		if !G[n] {
+			G[n] = true
+			stack = append(stack, n)
+			if n.q == ev.m.Final {
+				out[n.u] = true
+			}
+		}
+	}
+	for _, u := range us {
+		visit(node{ev.m.Start, u})
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ev.m.Out(n.q, func(_ int, t automaton.Trans) {
+			switch {
+			case t.Label.IsID():
+				visit(node{t.To, n.u})
+			case t.Label.Inv:
+				for _, v := range ev.src.Predecessors(t.Label.Pred, n.u) {
+					visit(node{t.To, v})
+				}
+			default:
+				for _, v := range ev.src.Successors(t.Label.Pred, n.u) {
+					visit(node{t.To, v})
+				}
+			}
+		})
+	}
+	return sortedSyms(out)
+}
+
+// Closure returns the set of terms reachable from starts by zero or more
+// applications of e (the accessible-node sets D1/D2 of the cyclic bound).
+func (ev *Evaluator) Closure(starts []symtab.Sym) []symtab.Sym {
+	seen := make(map[symtab.Sym]bool)
+	work := append([]symtab.Sym(nil), starts...)
+	for _, s := range starts {
+		seen[s] = true
+	}
+	for len(work) > 0 {
+		u := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, v := range ev.Image(u) {
+			if !seen[v] {
+				seen[v] = true
+				work = append(work, v)
+			}
+		}
+	}
+	out := make([]symtab.Sym, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedSyms(set map[symtab.Sym]bool) []symtab.Sym {
+	out := make([]symtab.Sym, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

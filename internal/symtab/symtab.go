@@ -1,0 +1,129 @@
+// Package symtab provides interning of constant symbols and composite
+// tuple terms into dense integer IDs.
+//
+// The evaluation algorithms in this module manipulate graph nodes of the
+// form (automaton state, term). Interning every term — including the
+// composite tuple terms t(c1,...,ck) introduced by the Section 4
+// transformation — into an int32 keeps those nodes comparable and hashable
+// in constant time and keeps the visited-set representation compact.
+package symtab
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sym is an interned symbol. The zero value is reserved and never issued
+// for a real symbol, so Sym(0) can be used as a sentinel.
+type Sym int32
+
+// None is the reserved sentinel symbol. It is used, for example, as the
+// paper's special symbol ∅ in the bin(∅, p(c̄)) construction.
+const None Sym = 0
+
+// Table interns strings and tuples to Syms and resolves them back.
+// A Table is not safe for concurrent mutation; evaluators share one table
+// per engine run.
+type Table struct {
+	byName map[string]Sym
+	names  []string // names[i] is the text of Sym(i)
+
+	// Tuple terms: a tuple (s1,...,sk) is interned under a key derived
+	// from its elements. elems[i] is non-nil iff Sym(i) is a tuple term.
+	byTuple map[string]Sym
+	elems   [][]Sym
+}
+
+// NewTable returns an empty symbol table. Index 0 is reserved for None.
+func NewTable() *Table {
+	t := &Table{
+		byName:  make(map[string]Sym),
+		byTuple: make(map[string]Sym),
+	}
+	t.names = append(t.names, "∅")
+	t.elems = append(t.elems, nil)
+	return t
+}
+
+// Intern returns the Sym for name, creating it if needed.
+func (t *Table) Intern(name string) Sym {
+	if s, ok := t.byName[name]; ok {
+		return s
+	}
+	s := Sym(len(t.names))
+	t.byName[name] = s
+	t.names = append(t.names, name)
+	t.elems = append(t.elems, nil)
+	return s
+}
+
+// Lookup returns the Sym for name without creating it.
+func (t *Table) Lookup(name string) (Sym, bool) {
+	s, ok := t.byName[name]
+	return s, ok
+}
+
+// InternTuple returns the Sym for the tuple term t(elems...), creating it
+// if needed. The empty tuple is a valid term (it arises when an adornment
+// binds no argument positions).
+func (t *Table) InternTuple(elems []Sym) Sym {
+	key := tupleKey(elems)
+	if s, ok := t.byTuple[key]; ok {
+		return s
+	}
+	s := Sym(len(t.names))
+	t.byTuple[key] = s
+	cp := make([]Sym, len(elems))
+	copy(cp, elems)
+	t.names = append(t.names, "")
+	t.elems = append(t.elems, cp)
+	return s
+}
+
+// IsTuple reports whether s is a tuple term.
+func (t *Table) IsTuple(s Sym) bool {
+	return int(s) < len(t.elems) && t.elems[s] != nil
+}
+
+// TupleElems returns the elements of a tuple term, or nil if s is not one.
+func (t *Table) TupleElems(s Sym) []Sym {
+	if int(s) >= len(t.elems) {
+		return nil
+	}
+	return t.elems[s]
+}
+
+// Name renders s back to text. Tuple terms render as t(e1,...,ek).
+func (t *Table) Name(s Sym) string {
+	if s == None {
+		return "∅"
+	}
+	if int(s) >= len(t.names) {
+		return fmt.Sprintf("?sym%d", int(s))
+	}
+	if e := t.elems[s]; e != nil {
+		parts := make([]string, len(e))
+		for i, x := range e {
+			parts[i] = t.Name(x)
+		}
+		return "t(" + strings.Join(parts, ",") + ")"
+	}
+	return t.names[s]
+}
+
+// Len returns the number of interned symbols including the sentinel.
+func (t *Table) Len() int { return len(t.names) }
+
+func tupleKey(elems []Sym) string {
+	var b strings.Builder
+	b.Grow(len(elems) * 5)
+	for _, e := range elems {
+		v := uint32(e)
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+// Package workload generates the extensional databases used by the
+// paper's evaluation section and by this module's tests and benchmarks:
+// the three acyclic same-generation samples of Figure 7, the cyclic
+// sample of Figure 8, random genealogies, chains and grids, and the
+// Section 4 flight database.
+//
+// Figure 7 is partially illegible in the available text of the paper; the
+// shapes here are reconstructed from the prose analysis, which pins down
+// the behavior each sample must induce (see DESIGN.md, "Workload
+// reconstructions"). All generators are deterministic: random ones take
+// an explicit seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chainlog/internal/edb"
+	"chainlog/internal/symtab"
+)
+
+// SG is a generated same-generation instance: a store with up/flat/down
+// relations and the query constant.
+type SG struct {
+	Store *edb.Store
+	// Query is the bound first argument of the query sg(Query, Y).
+	Query symtab.Sym
+	// N is the size parameter.
+	N int
+}
+
+// SGProgram is the paper's same-generation program text.
+const SGProgram = `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+`
+
+// SampleA builds Figure 7 sample (a), the "double star": the query
+// constant fans up to n nodes, every one of which flats to a single
+// shared hub, which fans down to n answers. The traversal algorithm
+// collapses the hub into one graph node (O(n) total) while pair-at-a-time
+// methods pay the n×n join through the hub.
+func SampleA(st *symtab.Table, n int) *SG {
+	s := edb.NewStore(st)
+	a := st.Intern("a")
+	c := st.Intern("c")
+	for i := 1; i <= n; i++ {
+		u := st.Intern(fmt.Sprintf("u%d", i))
+		s.Insert("up", a, u)
+		s.Insert("flat", u, c)
+		s.Insert("down", c, st.Intern(fmt.Sprintf("w%d", i)))
+	}
+	return &SG{Store: s, Query: a, N: n}
+}
+
+// SampleB builds Figure 7 sample (b), the "shifted ladder": an up chain
+// a1→…→an, a flat rung at every level, and a down chain running in the
+// same direction (down(b_i, b_{i+1})), so the down-walks started at
+// different levels never share automaton spine nodes. Each b_i is met at
+// Θ(i) distinct levels: Θ(n²) nodes for the traversal algorithm and for
+// counting ("each term u_i ... appears as the second component in i−1
+// distinct nodes").
+func SampleB(st *symtab.Table, n int) *SG {
+	s := edb.NewStore(st)
+	as := make([]symtab.Sym, n+1)
+	bs := make([]symtab.Sym, n+1)
+	for i := 1; i <= n; i++ {
+		as[i] = st.Intern(fmt.Sprintf("a%d", i))
+		bs[i] = st.Intern(fmt.Sprintf("b%d", i))
+	}
+	for i := 1; i < n; i++ {
+		s.Insert("up", as[i], as[i+1])
+		s.Insert("down", bs[i], bs[i+1])
+	}
+	for i := 1; i <= n; i++ {
+		s.Insert("flat", as[i], bs[i])
+	}
+	return &SG{Store: s, Query: as[1], N: n}
+}
+
+// SampleC builds Figure 7 sample (c), the "aligned ladder": as sample (b)
+// but with the down chain aligned against the up chain
+// (down(b_{i+1}, b_i)), so every down-walk runs along the single shared
+// automaton spine. Each a_i and b_i yields one node: O(n) for the
+// traversal algorithm, while Henschen–Naqvi — re-walking the down chain
+// per level without memoization — pays Θ(n²) ("the same path will never
+// be traversed twice" only holds for the graph-traversal method).
+func SampleC(st *symtab.Table, n int) *SG {
+	s := edb.NewStore(st)
+	as := make([]symtab.Sym, n+1)
+	bs := make([]symtab.Sym, n+1)
+	for i := 1; i <= n; i++ {
+		as[i] = st.Intern(fmt.Sprintf("a%d", i))
+		bs[i] = st.Intern(fmt.Sprintf("b%d", i))
+	}
+	for i := 1; i < n; i++ {
+		s.Insert("up", as[i], as[i+1])
+		s.Insert("down", bs[i+1], bs[i])
+	}
+	for i := 1; i <= n; i++ {
+		s.Insert("flat", as[i], bs[i])
+	}
+	return &SG{Store: s, Query: as[1], N: n}
+}
+
+// Cyclic builds the Figure 8 sample: an up cycle of length m, a down
+// cycle of length n and a single flat edge between them. When gcd(m,n)=1
+// the complete answer to sg(a0, Y) requires m·n iterations of the main
+// loop, and without the accessible-node bound the algorithm never
+// terminates.
+func Cyclic(st *symtab.Table, m, n int) *SG {
+	s := edb.NewStore(st)
+	as := make([]symtab.Sym, m)
+	bs := make([]symtab.Sym, n)
+	for i := 0; i < m; i++ {
+		as[i] = st.Intern(fmt.Sprintf("ca%d", i))
+	}
+	for j := 0; j < n; j++ {
+		bs[j] = st.Intern(fmt.Sprintf("cb%d", j))
+	}
+	for i := 0; i < m; i++ {
+		s.Insert("up", as[i], as[(i+1)%m])
+	}
+	for j := 0; j < n; j++ {
+		// down cycle: down(b_{j+1}, b_j) — walking down decrements.
+		s.Insert("down", bs[(j+1)%n], bs[j])
+	}
+	s.Insert("flat", as[0], bs[0])
+	return &SG{Store: s, Query: as[0], N: m * n}
+}
+
+// RandomTree builds a random genealogy: a forest where each of n people
+// has a parent chosen among earlier people (so up is acyclic), down is
+// the inverse of up, and flat links each person to itself with
+// probability pflat (plus always the roots). Used by property tests and
+// Theorem 4 experiments.
+func RandomTree(st *symtab.Table, n int, pflat float64, seed int64) *SG {
+	rng := rand.New(rand.NewSource(seed))
+	s := edb.NewStore(st)
+	people := make([]symtab.Sym, n)
+	for i := 0; i < n; i++ {
+		people[i] = st.Intern(fmt.Sprintf("p%d", i))
+	}
+	for i := 1; i < n; i++ {
+		parent := people[rng.Intn(i)]
+		s.Insert("up", people[i], parent)
+		s.Insert("down", parent, people[i])
+	}
+	for i := 0; i < n; i++ {
+		if i == 0 || rng.Float64() < pflat {
+			s.Insert("flat", people[i], people[i])
+		}
+	}
+	return &SG{Store: s, Query: people[n-1], N: n}
+}
+
+// Chain builds a simple edge chain v0→v1→…→vn for transitive-closure
+// workloads; the query constant is v0.
+func Chain(st *symtab.Table, n int) (*edb.Store, symtab.Sym) {
+	s := edb.NewStore(st)
+	prev := st.Intern("v0")
+	first := prev
+	for i := 1; i <= n; i++ {
+		cur := st.Intern(fmt.Sprintf("v%d", i))
+		s.Insert("edge", prev, cur)
+		prev = cur
+	}
+	return s, first
+}
+
+// Grid builds a w×h grid with edges right and down: grid reachability is
+// the classic dense-DAG stress case for transitive closures (many
+// distinct paths to each node, but each node one graph entry under
+// memoization). The query constant is the top-left corner g0_0.
+func Grid(st *symtab.Table, w, h int) (*edb.Store, symtab.Sym) {
+	s := edb.NewStore(st)
+	node := func(x, y int) symtab.Sym { return st.Intern(fmt.Sprintf("g%d_%d", x, y)) }
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			if x+1 < w {
+				s.Insert("edge", node(x, y), node(x+1, y))
+			}
+			if y+1 < h {
+				s.Insert("edge", node(x, y), node(x, y+1))
+			}
+		}
+	}
+	return s, node(0, 0)
+}
+
+// RandomGraph builds a random directed graph with n nodes and m edges for
+// reachability workloads (possibly cyclic). The query constant is v0.
+func RandomGraph(st *symtab.Table, n, m int, seed int64) (*edb.Store, symtab.Sym) {
+	rng := rand.New(rand.NewSource(seed))
+	s := edb.NewStore(st)
+	nodes := make([]symtab.Sym, n)
+	for i := range nodes {
+		nodes[i] = st.Intern(fmt.Sprintf("v%d", i))
+	}
+	for k := 0; k < m; k++ {
+		s.Insert("edge", nodes[rng.Intn(n)], nodes[rng.Intn(n)])
+	}
+	return s, nodes[0]
+}
+
+// FlightProgram is the Section 4 airline-connection program. is_deptime
+// projects departure times; the built-in AT1 < DT1 enforces a feasible
+// transfer.
+const FlightProgram = `
+cnx(S, DT, D, AT) :- flight(S, DT, D, AT).
+cnx(S, DT, D, AT) :- flight(S, DT, D1, AT1), AT1 < DT1, is_deptime(DT1), cnx(D1, DT1, D, AT).
+`
+
+// Flights is a generated flight database.
+type Flights struct {
+	Store *edb.Store
+	// Source and DepTime are the query's bound arguments.
+	Source, DepTime symtab.Sym
+	// Airports and FlightCount describe the instance.
+	Airports, FlightCount int
+}
+
+// FlightDB generates a random flight schedule: airports ap0..ap(k-1), and
+// per airport `perAirport` outgoing flights at increasing times. Times
+// are integer minutes rendered as numeric constants, so the parser's
+// comparison built-ins order them correctly. is_deptime is materialized
+// as the projection of flight onto its departure-time column, as the
+// paper suggests.
+func FlightDB(st *symtab.Table, airports, perAirport int, seed int64) *Flights {
+	rng := rand.New(rand.NewSource(seed))
+	s := edb.NewStore(st)
+	aps := make([]symtab.Sym, airports)
+	for i := range aps {
+		aps[i] = st.Intern(fmt.Sprintf("ap%d", i))
+	}
+	timeSym := func(t int) symtab.Sym { return st.Intern(fmt.Sprintf("%d", t)) }
+	deptimes := map[int]bool{}
+	count := 0
+	for i := range aps {
+		for f := 0; f < perAirport; f++ {
+			dt := rng.Intn(1300) + 100
+			dur := rng.Intn(200) + 30
+			dest := aps[rng.Intn(airports)]
+			if dest == aps[i] {
+				dest = aps[(i+1)%airports]
+			}
+			s.Insert("flight", aps[i], timeSym(dt), dest, timeSym(dt+dur))
+			deptimes[dt] = true
+			count++
+		}
+	}
+	// A deterministic seed flight so the bound query cnx(ap0, 100, D, AT)
+	// always has at least one departure to chase.
+	if airports > 1 {
+		s.Insert("flight", aps[0], timeSym(100), aps[1], timeSym(100+45))
+		deptimes[100] = true
+		count++
+	}
+	for t := range deptimes {
+		s.Insert("is_deptime", timeSym(t))
+	}
+	return &Flights{Store: s, Source: aps[0], DepTime: timeSym(100), Airports: airports, FlightCount: count}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"chainlog/internal/symtab"
+)
+
+func TestSampleASizes(t *testing.T) {
+	st := symtab.NewTable()
+	w := SampleA(st, 10)
+	if w.Store.Relation("up").Len() != 10 {
+		t.Fatalf("up = %d", w.Store.Relation("up").Len())
+	}
+	if w.Store.Relation("flat").Len() != 10 {
+		t.Fatalf("flat = %d", w.Store.Relation("flat").Len())
+	}
+	if w.Store.Relation("down").Len() != 10 {
+		t.Fatalf("down = %d", w.Store.Relation("down").Len())
+	}
+	if st.Name(w.Query) != "a" {
+		t.Fatalf("query = %s", st.Name(w.Query))
+	}
+	// Hub: all flat edges end at c.
+	r := w.Store.Relation("flat")
+	for i := 0; i < r.Len(); i++ {
+		if st.Name(r.Tuple(i)[1]) != "c" {
+			t.Fatal("flat target is not the hub")
+		}
+	}
+}
+
+func TestSampleBLadder(t *testing.T) {
+	st := symtab.NewTable()
+	n := 8
+	w := SampleB(st, n)
+	if w.Store.Relation("up").Len() != n-1 {
+		t.Fatalf("up = %d", w.Store.Relation("up").Len())
+	}
+	if w.Store.Relation("flat").Len() != n {
+		t.Fatalf("flat = %d", w.Store.Relation("flat").Len())
+	}
+	// Shifted: down(b1, b2) present (same direction as up).
+	b1, _ := st.Lookup("b1")
+	succ := w.Store.Relation("down").Successors(b1)
+	if len(succ) != 1 || st.Name(succ[0]) != "b2" {
+		t.Fatalf("down(b1) = %v", succ)
+	}
+}
+
+func TestSampleCAligned(t *testing.T) {
+	st := symtab.NewTable()
+	w := SampleC(st, 8)
+	// Aligned: down(b2, b1).
+	b2, _ := st.Lookup("b2")
+	succ := w.Store.Relation("down").Successors(b2)
+	if len(succ) != 1 || st.Name(succ[0]) != "b1" {
+		t.Fatalf("down(b2) = %v", succ)
+	}
+}
+
+func TestCyclicStructure(t *testing.T) {
+	st := symtab.NewTable()
+	w := Cyclic(st, 3, 5)
+	if w.Store.Relation("up").Len() != 3 {
+		t.Fatalf("up = %d", w.Store.Relation("up").Len())
+	}
+	if w.Store.Relation("down").Len() != 5 {
+		t.Fatalf("down = %d", w.Store.Relation("down").Len())
+	}
+	if w.Store.Relation("flat").Len() != 1 {
+		t.Fatalf("flat = %d", w.Store.Relation("flat").Len())
+	}
+	// Closing the up cycle: following up 3 times returns to start.
+	cur := w.Query
+	for i := 0; i < 3; i++ {
+		s := w.Store.Relation("up").Successors(cur)
+		if len(s) != 1 {
+			t.Fatal("up is not a functional cycle")
+		}
+		cur = s[0]
+	}
+	if cur != w.Query {
+		t.Fatal("up cycle does not close after m steps")
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	st1 := symtab.NewTable()
+	st2 := symtab.NewTable()
+	a := RandomTree(st1, 30, 0.3, 7)
+	b := RandomTree(st2, 30, 0.3, 7)
+	if a.Store.Relation("up").Len() != b.Store.Relation("up").Len() {
+		t.Fatal("RandomTree not deterministic")
+	}
+	if a.Store.Relation("up").Len() != 29 {
+		t.Fatalf("up = %d, want n-1", a.Store.Relation("up").Len())
+	}
+	// down is the inverse of up.
+	up := a.Store.Relation("up")
+	for i := 0; i < up.Len(); i++ {
+		tu := up.Tuple(i)
+		found := false
+		for _, s := range a.Store.Relation("down").Successors(tu[1]) {
+			if s == tu[0] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("down is not the inverse of up")
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	st := symtab.NewTable()
+	store, first := Chain(st, 5)
+	if store.Relation("edge").Len() != 5 {
+		t.Fatalf("edges = %d", store.Relation("edge").Len())
+	}
+	if st.Name(first) != "v0" {
+		t.Fatalf("first = %s", st.Name(first))
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	st1, st2 := symtab.NewTable(), symtab.NewTable()
+	s1, _ := RandomGraph(st1, 10, 20, 3)
+	s2, _ := RandomGraph(st2, 10, 20, 3)
+	if s1.Relation("edge").Len() != s2.Relation("edge").Len() {
+		t.Fatal("RandomGraph not deterministic")
+	}
+}
+
+func TestFlightDB(t *testing.T) {
+	st := symtab.NewTable()
+	f := FlightDB(st, 5, 3, 11)
+	if f.Store.Relation("flight").Len() == 0 {
+		t.Fatal("no flights")
+	}
+	if f.Store.Relation("is_deptime").Len() == 0 {
+		t.Fatal("no deptimes")
+	}
+	if st.Name(f.Source) != "ap0" || st.Name(f.DepTime) != "100" {
+		t.Fatalf("query = %s %s", st.Name(f.Source), st.Name(f.DepTime))
+	}
+	// Every flight's arrival is after its departure (times are numeric).
+	r := f.Store.Relation("flight")
+	for i := 0; i < r.Len(); i++ {
+		tu := r.Tuple(i)
+		var dt, at int
+		fmt.Sscanf(st.Name(tu[1]), "%d", &dt)
+		fmt.Sscanf(st.Name(tu[3]), "%d", &at)
+		if at <= dt {
+			t.Fatalf("flight arrives before departing: %v", tu)
+		}
+	}
+	// No self-loop flights.
+	for i := 0; i < r.Len(); i++ {
+		tu := r.Tuple(i)
+		if tu[0] == tu[2] {
+			t.Fatal("self-loop flight generated")
+		}
+	}
+}

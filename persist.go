@@ -1,0 +1,49 @@
+package chainlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"chainlog/internal/ast"
+)
+
+// DumpFacts writes the extensional database as Datalog fact text, one
+// fact per line, relations in insertion order. The output round-trips
+// through LoadProgram.
+func (db *DB) DumpFacts(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range db.store.Relations() {
+		r := db.store.Relation(name)
+		for i := 0; i < r.Len(); i++ {
+			tuple := r.Tuple(i)
+			if _, err := bw.WriteString(name); err != nil {
+				return err
+			}
+			bw.WriteByte('(')
+			for j, s := range tuple {
+				if j > 0 {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(ast.C(s).Render(db.st))
+			}
+			if _, err := bw.WriteString(").\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpRules writes the intensional database as Datalog rule text. The
+// output round-trips through LoadProgram (into a fresh DB).
+func (db *DB) DumpRules(w io.Writer) error {
+	_, err := io.WriteString(w, db.prog.Render(db.st))
+	return err
+}
+
+// Stats summary for human consumption.
+func (db *DB) String() string {
+	return fmt.Sprintf("chainlog.DB{rules: %d, relations: %d, facts: %d}",
+		len(db.prog.Rules), len(db.store.Relations()), db.store.Size())
+}

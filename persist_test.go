@@ -1,0 +1,74 @@
+package chainlog
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDumpFactsRoundTrip(t *testing.T) {
+	db := mustDB(t, sgSrc)
+	var facts, rules bytes.Buffer
+	if err := db.DumpFacts(&facts); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DumpRules(&rules); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := NewDB()
+	if err := db2.LoadProgram(rules.String()); err != nil {
+		t.Fatalf("reload rules: %v\n%s", err, rules.String())
+	}
+	if err := db2.LoadProgram(facts.String()); err != nil {
+		t.Fatalf("reload facts: %v\n%s", err, facts.String())
+	}
+
+	want, err := db.Query("sg(john, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Query("sg(john, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("round trip changed answers: %v vs %v", got.Rows, want.Rows)
+	}
+	if db.Store().Size() != db2.Store().Size() {
+		t.Fatalf("fact counts differ: %d vs %d", db.Store().Size(), db2.Store().Size())
+	}
+}
+
+func TestDumpQuotesAwkwardConstants(t *testing.T) {
+	db := NewDB()
+	if err := db.LoadProgram(`city('New York', 'USA'). city(oslo, norway).`); err != nil {
+		t.Fatal(err)
+	}
+	db.Assert("city", "São Paulo", "brazil")
+	db.Assert("city", "Uppercase", "sweden")
+	var buf bytes.Buffer
+	if err := db.DumpFacts(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "'New York'") || !strings.Contains(out, "'Uppercase'") {
+		t.Fatalf("quoting missing:\n%s", out)
+	}
+	db2 := NewDB()
+	if err := db2.LoadProgram(out); err != nil {
+		t.Fatalf("reload: %v\n%s", err, out)
+	}
+	if db2.Store().Size() != db.Store().Size() {
+		t.Fatal("quoted round trip lost facts")
+	}
+}
+
+func TestDBString(t *testing.T) {
+	db := mustDB(t, sgSrc)
+	s := db.String()
+	if !strings.Contains(s, "rules: 2") {
+		t.Fatalf("String = %q", s)
+	}
+}

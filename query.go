@@ -1,0 +1,544 @@
+package chainlog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"chainlog/internal/analysis"
+	"chainlog/internal/ast"
+	"chainlog/internal/binchain"
+	"chainlog/internal/bottomup"
+	"chainlog/internal/chaineval"
+	"chainlog/internal/counting"
+	"chainlog/internal/equations"
+	"chainlog/internal/hn"
+	"chainlog/internal/hunt"
+	"chainlog/internal/magic"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+)
+
+// Strategy selects the evaluation method for a query.
+type Strategy int
+
+const (
+	// Chain is the paper's graph-traversal algorithm (the default).
+	// Binary-chain programs with a bf/fb/ff query evaluate directly over
+	// the Lemma 1 equations; other linear programs (n-ary predicates, or
+	// binary queries binding both arguments) go through the Section 4
+	// transformation first.
+	Chain Strategy = iota
+	// Naive is general naive bottom-up evaluation.
+	Naive
+	// Seminaive is general seminaive (delta) bottom-up evaluation.
+	Seminaive
+	// Magic is the magic-sets rewriting evaluated seminaively.
+	Magic
+	// Counting is the counting method (linear p = e0 ∪ e1·p·e2 only).
+	Counting
+	// ReverseCounting is counting run from the answer side.
+	ReverseCounting
+	// HenschenNaqvi is the iterative set-at-a-time method without
+	// cross-iteration memoization (linear shape only).
+	HenschenNaqvi
+	// Hunt is the Hunt-Szymanski-Ullman preconstruction baseline
+	// (regular equations only).
+	Hunt
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Chain:
+		return "chain"
+	case Naive:
+		return "naive"
+	case Seminaive:
+		return "seminaive"
+	case Magic:
+		return "magic"
+	case Counting:
+		return "counting"
+	case ReverseCounting:
+		return "reverse-counting"
+	case HenschenNaqvi:
+		return "henschen-naqvi"
+	case Hunt:
+		return "hunt"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// ParseStrategy resolves a strategy name as used by the CLI.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "chain", "":
+		return Chain, nil
+	case "naive":
+		return Naive, nil
+	case "seminaive":
+		return Seminaive, nil
+	case "magic":
+		return Magic, nil
+	case "counting":
+		return Counting, nil
+	case "reverse-counting", "revcounting":
+		return ReverseCounting, nil
+	case "henschen-naqvi", "hn":
+		return HenschenNaqvi, nil
+	case "hunt":
+		return Hunt, nil
+	}
+	return Chain, fmt.Errorf("chainlog: unknown strategy %q", name)
+}
+
+// Options tunes query evaluation. The zero value is ready to use.
+type Options struct {
+	// Strategy selects the evaluation method; default Chain.
+	Strategy Strategy
+	// MaxIterations caps the chain engine's main loop (0 = uncapped).
+	MaxIterations int
+	// DisableCyclicGuard turns off the m·n accessible-node termination
+	// bound for cyclic data (on by default for Chain, Counting and
+	// HenschenNaqvi).
+	DisableCyclicGuard bool
+	// MaxNodes bounds the interpretation graph (0 = unlimited).
+	MaxNodes int
+	// ForceSection4 routes binary-chain bf queries through the Section 4
+	// transformation as well (used by ablation A4).
+	ForceSection4 bool
+	// Strict disables the automatic fallback to magic sets when a query's
+	// binding pattern fails the chain-program condition; the chain-check
+	// error is returned instead.
+	Strict bool
+	// Trace, when non-nil, receives a line-per-event log of the chain
+	// engine's evaluation (iterations, graph nodes, expansions, answers).
+	Trace io.Writer
+	// TraceMaxNodes truncates the per-node trace output (0 = unlimited).
+	TraceMaxNodes int
+}
+
+// tracer builds the engine tracer for the options, or nil.
+func (db *DB) tracer(opts Options) chaineval.Tracer {
+	if opts.Trace == nil {
+		return nil
+	}
+	return &chaineval.WriterTracer{W: opts.Trace, St: db.st, MaxNodes: opts.TraceMaxNodes}
+}
+
+// Stats describes the work one query performed, in the units the paper's
+// analysis uses.
+type Stats struct {
+	Strategy Strategy
+	// Iterations is the number of main-loop iterations / levels.
+	Iterations int
+	// Nodes is the number of (state, term) graph nodes constructed, or
+	// the closest analogue the strategy has (set elements touched for
+	// set-at-a-time methods, facts derived for bottom-up ones).
+	Nodes int
+	// Expansions counts EM(p,i) derived-transition expansions (Chain).
+	Expansions int
+	// FactsConsulted is the number of extensional tuples retrieved.
+	FactsConsulted int64
+	// Lookups is the number of extensional index probes.
+	Lookups int64
+	// Firings is the number of rule firings (bottom-up strategies).
+	Firings int64
+	// Converged is false when an iteration cap cut evaluation short.
+	Converged bool
+	// AnswerCompleteAt is the first iteration after which the answer set
+	// stopped growing (Chain only).
+	AnswerCompleteAt int
+}
+
+// Answer is a query result: one row per binding of the query's free
+// variables, in their order of appearance.
+type Answer struct {
+	// Vars names the query's free variables (deduplicated, in order).
+	Vars []string
+	// Rows holds the answer tuples as constant names, sorted.
+	Rows [][]string
+	// True reports, for fully bound queries, whether the fact holds.
+	True  bool
+	Stats Stats
+}
+
+// Query parses and evaluates a query with default options.
+func (db *DB) Query(query string) (*Answer, error) {
+	return db.QueryOpts(query, Options{})
+}
+
+// QueryOpts parses and evaluates a query with explicit options.
+func (db *DB) QueryOpts(query string, opts Options) (*Answer, error) {
+	q, err := parser.ParseQuery(query, db.st)
+	if err != nil {
+		return nil, err
+	}
+	return db.Evaluate(q, opts)
+}
+
+// Evaluate runs an already parsed query.
+func (db *DB) Evaluate(q ast.Query, opts Options) (*Answer, error) {
+	before := db.store.Counters
+	ans, err := db.dispatch(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	after := db.store.Counters
+	ans.Stats.FactsConsulted = after.Retrieved - before.Retrieved
+	ans.Stats.Lookups = after.Lookups - before.Lookups
+	ans.Stats.Strategy = opts.Strategy
+	ans.Vars = freeVars(q)
+	if len(ans.Vars) == 0 {
+		ans.True = len(ans.Rows) > 0
+		ans.Rows = nil
+	}
+	sortRows(ans.Rows)
+	return ans, nil
+}
+
+func (db *DB) dispatch(q ast.Query, opts Options) (*Answer, error) {
+	info := db.Analysis()
+	// Base-predicate queries are plain index lookups.
+	if !info.Derived[q.Pred] {
+		return db.baseQuery(q)
+	}
+	switch opts.Strategy {
+	case Chain:
+		return db.chainQuery(q, opts)
+	case Naive, Seminaive:
+		return db.bottomUpQuery(q, opts)
+	case Magic:
+		rows, stats, err := magic.Evaluate(db.prog, q, db.store)
+		if err != nil {
+			return nil, err
+		}
+		return db.rowsAnswer(rows, Stats{
+			Iterations: stats.Iterations,
+			Nodes:      int(stats.Derived),
+			Firings:    stats.Firings,
+			Converged:  true,
+		}), nil
+	case Counting, ReverseCounting, HenschenNaqvi:
+		return db.linearShapeQuery(q, opts)
+	case Hunt:
+		return db.huntQuery(q)
+	}
+	return nil, fmt.Errorf("chainlog: unhandled strategy %v", opts.Strategy)
+}
+
+// relevantProgram slices the program down to the rules for predicates
+// reachable from the query predicate in the dependency graph. A database
+// can hold unrelated rule sets (e.g. a non-chain view next to a chain
+// program); classification and compilation consider only the reachable
+// slice.
+func (db *DB) relevantProgram(pred string) *ast.Program {
+	reach := map[string]bool{pred: true}
+	stack := []string{pred}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range db.prog.RulesFor(p) {
+			for _, l := range r.Body {
+				if !l.IsBuiltin() && !reach[l.Pred] {
+					reach[l.Pred] = true
+					stack = append(stack, l.Pred)
+				}
+			}
+		}
+	}
+	out := &ast.Program{}
+	for _, r := range db.prog.Rules {
+		if reach[r.Head.Pred] {
+			out.Rules = append(out.Rules, r)
+		}
+	}
+	return out
+}
+
+// chainQuery routes a Chain-strategy query: direct binary-chain
+// evaluation when possible, Section 4 transformation otherwise.
+func (db *DB) chainQuery(q ast.Query, opts Options) (*Answer, error) {
+	sub := db.relevantProgram(q.Pred)
+	adorned := q.Adornment()
+	direct := analysis.Analyze(sub).BinaryChainProgram() && !opts.ForceSection4 &&
+		(adorned == "bf" || adorned == "fb" || adorned == "ff")
+	if direct {
+		return db.directChain(q, opts)
+	}
+	return db.section4Chain(q, opts)
+}
+
+func (db *DB) directChain(q ast.Query, opts Options) (*Answer, error) {
+	sys, err := equations.Transform(db.relevantProgram(q.Pred))
+	if err != nil {
+		return nil, err
+	}
+	eng := chaineval.New(sys, chaineval.StoreSource{Store: db.store}, chaineval.Options{
+		MaxIterations:      opts.MaxIterations,
+		DisableCyclicGuard: opts.DisableCyclicGuard,
+		MaxNodes:           opts.MaxNodes,
+		Tracer:             db.tracer(opts),
+	})
+	switch q.Adornment() {
+	case "bf":
+		res, err := eng.Query(q.Pred, q.Args[0].Const)
+		if err != nil {
+			return nil, err
+		}
+		return db.symsAnswer(res.Answers, chainStats(res)), nil
+	case "fb":
+		res, err := eng.QueryInverse(q.Pred, q.Args[1].Const)
+		if err != nil {
+			return nil, err
+		}
+		return db.symsAnswer(res.Answers, chainStats(res)), nil
+	case "ff":
+		pairs, res, err := eng.QueryAll(q.Pred, db.ActiveDomain())
+		if err != nil {
+			return nil, err
+		}
+		st := chainStats(res)
+		// p(X, X) projects the diagonal.
+		if q.Args[0].Var == q.Args[1].Var {
+			var rows [][]string
+			for _, p := range pairs {
+				if p[0] == p[1] {
+					rows = append(rows, []string{db.st.Name(p[0])})
+				}
+			}
+			return db.rowsStrAnswer(rows, st), nil
+		}
+		rows := make([][]string, 0, len(pairs))
+		for _, p := range pairs {
+			rows = append(rows, []string{db.st.Name(p[0]), db.st.Name(p[1])})
+		}
+		return db.rowsStrAnswer(rows, st), nil
+	}
+	return nil, fmt.Errorf("chainlog: unsupported direct adornment %s", q.Adornment())
+}
+
+// section4Chain evaluates via the n-ary → binary-chain transformation.
+// Queries whose binding pattern violates the chain-program condition (the
+// class the paper's method covers) fall back to magic sets — still
+// binding-directed, applicable to any linear program — unless
+// opts.Strict is set.
+func (db *DB) section4Chain(q ast.Query, opts Options) (*Answer, error) {
+	tr, err := binchain.Transform(db.prog, q, db.store, false)
+	if err != nil {
+		if opts.Strict {
+			return nil, err
+		}
+		rows, stats, merr := magic.Evaluate(db.prog, q, db.store)
+		if merr != nil {
+			// Last resort: the completely general bottom-up method.
+			return db.bottomUpQuery(q, Options{Strategy: Seminaive})
+		}
+		return db.rowsAnswer(rows, Stats{
+			Iterations: stats.Iterations,
+			Nodes:      int(stats.Derived),
+			Firings:    stats.Firings,
+			Converged:  true,
+		}), nil
+	}
+	sys, err := equations.Transform(tr.Program)
+	if err != nil {
+		return nil, err
+	}
+	eng := chaineval.New(sys, tr.Source, chaineval.Options{
+		MaxIterations:      opts.MaxIterations,
+		DisableCyclicGuard: opts.DisableCyclicGuard,
+		MaxNodes:           opts.MaxNodes,
+		Tracer:             db.tracer(opts),
+	})
+	res, err := eng.Query(tr.QueryPred, tr.BoundArg)
+	if err != nil {
+		return nil, err
+	}
+	rows := tr.DecodeAnswers(res.Answers)
+	return db.rowsAnswer(dedupeRows(rowsWithRepeatsCollapsed(rows, tr.FreeVars)), chainStats(res)), nil
+}
+
+func (db *DB) bottomUpQuery(q ast.Query, opts Options) (*Answer, error) {
+	run := bottomup.Seminaive
+	if opts.Strategy == Naive {
+		run = bottomup.Naive
+	}
+	store, stats, err := run(db.prog, db.store)
+	if err != nil {
+		return nil, err
+	}
+	rows := bottomup.Answer(store, q)
+	return db.rowsAnswer(rows, Stats{
+		Iterations: stats.Iterations,
+		Nodes:      int(stats.Derived),
+		Firings:    stats.Firings,
+		Converged:  true,
+	}), nil
+}
+
+// linearShapeQuery runs the counting / reverse-counting / Henschen–Naqvi
+// specializations. They require a binary-chain program whose query
+// equation has the shape p = e0 ∪ e1·p·e2 and a bf query.
+func (db *DB) linearShapeQuery(q ast.Query, opts Options) (*Answer, error) {
+	if q.Adornment() != "bf" {
+		return nil, fmt.Errorf("chainlog: strategy %v supports only p(a, Y) queries", opts.Strategy)
+	}
+	sys, err := equations.Transform(db.relevantProgram(q.Pred))
+	if err != nil {
+		return nil, err
+	}
+	shape, ok := sys.LinearDecompose(q.Pred)
+	if !ok {
+		return nil, fmt.Errorf("chainlog: equation for %s is not of the shape e0 U e1.%s.e2", q.Pred, q.Pred)
+	}
+	src := chaineval.StoreSource{Store: db.store}
+	maxLevels := opts.MaxIterations
+	a := q.Args[0].Const
+	var answers []symtab.Sym
+	var st Stats
+	switch opts.Strategy {
+	case Counting:
+		res, cs := counting.Evaluate(shape, src, a, maxLevels)
+		answers = res
+		st = Stats{Iterations: cs.Levels, Nodes: cs.UpSize + cs.FlatSize + cs.DownSize, Converged: true}
+	case ReverseCounting:
+		res, cs := counting.EvaluateReverse(shape, src, a, maxLevels)
+		answers = res
+		st = Stats{Iterations: cs.Levels, Nodes: cs.UpSize + cs.FlatSize + cs.DownSize, Converged: true}
+	case HenschenNaqvi:
+		res, hs := hn.Evaluate(shape, src, a, maxLevels)
+		answers = res
+		st = Stats{Iterations: hs.Iterations, Nodes: hs.TermsTouched, Converged: true}
+	}
+	return db.symsAnswer(answers, st), nil
+}
+
+func (db *DB) huntQuery(q ast.Query) (*Answer, error) {
+	if q.Adornment() != "bf" {
+		return nil, fmt.Errorf("chainlog: hunt strategy supports only p(a, Y) queries")
+	}
+	sys, err := equations.Transform(db.relevantProgram(q.Pred))
+	if err != nil {
+		return nil, err
+	}
+	if !sys.IsRegularFor(q.Pred) {
+		return nil, fmt.Errorf("chainlog: hunt strategy requires a regular equation for %s", q.Pred)
+	}
+	eq, _ := sys.EquationFor(q.Pred)
+	g := hunt.Build(eq, db.store)
+	answers, visited := g.Query(q.Args[0].Const)
+	return db.symsAnswer(answers, Stats{
+		Iterations: 1,
+		Nodes:      visited,
+		Converged:  true,
+	}), nil
+}
+
+// baseQuery answers a query over an extensional predicate directly.
+func (db *DB) baseQuery(q ast.Query) (*Answer, error) {
+	r := db.store.Relation(q.Pred)
+	if r != nil && r.Arity() != q.Arity() {
+		return nil, fmt.Errorf("chainlog: query arity %d does not match %s/%d", q.Arity(), q.Pred, r.Arity())
+	}
+	rows := bottomup.Answer(db.store, q)
+	return db.rowsAnswer(rows, Stats{Iterations: 0, Converged: true}), nil
+}
+
+func chainStats(r *chaineval.Result) Stats {
+	return Stats{
+		Iterations:       r.Iterations,
+		Nodes:            r.Nodes,
+		Expansions:       r.Expansions,
+		Converged:        r.Converged,
+		AnswerCompleteAt: r.AnswerCompleteAt,
+	}
+}
+
+func (db *DB) symsAnswer(syms []symtab.Sym, st Stats) *Answer {
+	rows := make([][]string, 0, len(syms))
+	for _, s := range syms {
+		rows = append(rows, []string{db.st.Name(s)})
+	}
+	return &Answer{Rows: rows, Stats: st}
+}
+
+func (db *DB) rowsAnswer(rows [][]symtab.Sym, st Stats) *Answer {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		row := make([]string, len(r))
+		for i, s := range r {
+			row[i] = db.st.Name(s)
+		}
+		out = append(out, row)
+	}
+	return &Answer{Rows: out, Stats: st}
+}
+
+func (db *DB) rowsStrAnswer(rows [][]string, st Stats) *Answer {
+	return &Answer{Rows: rows, Stats: st}
+}
+
+func freeVars(q ast.Query) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range q.Args {
+		if a.IsVar() && !seen[a.Var] {
+			seen[a.Var] = true
+			out = append(out, a.Var)
+		}
+	}
+	return out
+}
+
+// rowsWithRepeatsCollapsed projects rows onto the first occurrence of
+// each free variable (rows violating repeated-variable equality were
+// already dropped by the transformation decoder).
+func rowsWithRepeatsCollapsed(rows [][]symtab.Sym, vars []string) [][]symtab.Sym {
+	first := map[string]int{}
+	var keep []int
+	for i, v := range vars {
+		if _, ok := first[v]; !ok {
+			first[v] = i
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == len(vars) {
+		return rows
+	}
+	out := make([][]symtab.Sym, 0, len(rows))
+	for _, r := range rows {
+		row := make([]symtab.Sym, 0, len(keep))
+		for _, i := range keep {
+			row = append(row, r[i])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func dedupeRows(rows [][]symtab.Sym) [][]symtab.Sym {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for _, r := range rows {
+		key := fmt.Sprint(r)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
