@@ -244,6 +244,143 @@ func BenchmarkFlight(b *testing.B) {
 	}
 }
 
+// BenchmarkPrepared measures the prepared-query API: compile once /
+// bind many (Prepared.Run cycling through distinct bound constants)
+// against cold per-call compilation (Prepare+Run each iteration). The
+// /section4 pair demonstrates the acceptance target: amortizing the
+// adornment, transformation, equation build and automaton construction
+// across calls.
+func BenchmarkPrepared(b *testing.B) {
+	newFlightDB := func(b *testing.B, airports, perAirport int) (*DB, []string) {
+		b.Helper()
+		db := NewDB()
+		if err := db.LoadProgram(workload.FlightProgram); err != nil {
+			b.Fatal(err)
+		}
+		f := workload.FlightDB(db.SymTab(), airports, perAirport, 1)
+		db.SetStore(f.Store)
+		// Distinct bound constants: every flight departure (city, time).
+		rel := f.Store.Relation("flight")
+		seen := map[string]bool{}
+		var consts [][2]string
+		for i := 0; i < rel.Len(); i++ {
+			t := rel.Tuple(i)
+			k := db.Name(t[0]) + "/" + db.Name(t[1])
+			if !seen[k] {
+				seen[k] = true
+				consts = append(consts, [2]string{db.Name(t[0]), db.Name(t[1])})
+			}
+		}
+		flat := make([]string, 0, 2*len(consts))
+		for _, c := range consts {
+			flat = append(flat, c[0], c[1])
+		}
+		return db, flat
+	}
+	// Two data scales: "selective" is the prepared-statement regime (many
+	// cheap point queries, compile dominates), "bulk" the regime where
+	// the traversal dwarfs compilation.
+	for _, size := range []struct {
+		name                 string
+		airports, perAirport int
+	}{
+		{"selective", 6, 2},
+		{"bulk", 30, 5},
+	} {
+		b.Run("section4/"+size.name+"/prepared", func(b *testing.B) {
+			db, consts := newFlightDB(b, size.airports, size.perAirport)
+			p, err := db.Prepare("cnx(?, ?, D, AT)", Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := len(consts) / 2
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % n
+				if _, err := p.Run(consts[2*k], consts[2*k+1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("section4/"+size.name+"/cold", func(b *testing.B) {
+			db, consts := newFlightDB(b, size.airports, size.perAirport)
+			n := len(consts) / 2
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % n
+				p, err := db.Prepare("cnx(?, ?, D, AT)", Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Run(consts[2*k], consts[2*k+1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	newSGDB := func(b *testing.B) (*DB, []string) {
+		b.Helper()
+		db := NewDB()
+		if err := db.LoadProgram(workload.SGProgram); err != nil {
+			b.Fatal(err)
+		}
+		w := workload.SampleC(db.SymTab(), 96)
+		db.SetStore(w.Store)
+		var names []string
+		for i := 0; i < 32; i++ {
+			names = append(names, fmt.Sprintf("a%d", i+1))
+		}
+		return db, names
+	}
+	b.Run("direct/prepared", func(b *testing.B) {
+		db, names := newSGDB(b)
+		p, err := db.Prepare("sg(?, Y)", Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(names[i%len(names)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct/cold", func(b *testing.B) {
+		db, names := newSGDB(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := db.Prepare("sg(?, Y)", Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Run(names[i%len(names)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Concurrent prepared runs: the same plan driven from GOMAXPROCS
+	// goroutines, each with its own constant.
+	b.Run("direct/parallel", func(b *testing.B) {
+		db, names := newSGDB(b)
+		p, err := db.Prepare("sg(?, Y)", Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := p.Run(names[i%len(names)]); err != nil {
+					// b.Fatal must not run on a RunParallel worker.
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	})
+}
+
 // BenchmarkAblationDemand contrasts preconstruction (Hunt) with the
 // demand-driven engine on data that is mostly irrelevant to the query
 // (A1).

@@ -26,19 +26,41 @@
 //
 // # Quick start
 //
+// The paper's central observation is that a query compiles to a fixed
+// automaton hierarchy that is then driven by the bound constant. The API
+// mirrors that: Prepare compiles a parameterized query template once, and
+// the returned plan is run for any number of constants, from any number
+// of goroutines:
+//
 //	db := chainlog.NewDB()
 //	err := db.LoadProgram(`
 //	    sg(X, Y) :- flat(X, Y).
 //	    sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
 //	    up(john, mary).  flat(mary, mary).  down(mary, ann).
 //	`)
-//	ans, err := db.Query("sg(john, Y)")
+//	sg, err := db.Prepare("sg(?, Y)", chainlog.Options{})
+//	ans, err := sg.Run("john")
 //	// ans.Rows == [][]string{{"ann"}, ...}
+//
+// One-shot queries work too, and are internally routed through a plan
+// cache keyed by (predicate, binding pattern, options), so repeating a
+// query shape with different constants reuses the compiled plan:
+//
+//	ans, err := db.Query("sg(john, Y)")
+//
+// # Concurrency
+//
+// A DB guards its program and fact store with a readers-writer lock:
+// any number of goroutines may Query / Run prepared plans concurrently,
+// while mutations (LoadProgram, Assert, SetStore) take the exclusive
+// lock and bump an epoch that invalidates cached plans. A Prepared whose
+// epoch went stale recompiles itself transparently on its next Run.
 package chainlog
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"chainlog/internal/analysis"
 	"chainlog/internal/ast"
@@ -48,20 +70,52 @@ import (
 )
 
 // DB holds a Datalog program (the intensional database) and a fact store
-// (the extensional database). A DB is not safe for concurrent use.
+// (the extensional database).
+//
+// A DB is safe for concurrent use: queries and prepared-plan runs take a
+// shared read lock, mutations take the exclusive write lock.
 type DB struct {
+	// mu guards prog and store structure. Readers (queries, plan runs,
+	// compilation) share it; writers (LoadProgram, Assert, SetStore)
+	// hold it exclusively.
+	mu    sync.RWMutex
 	st    *symtab.Table
 	store *edb.Store
 	prog  *ast.Program
 
-	info  *analysis.Info // lazily (re)computed
-	dirty bool
+	// epoch counts mutations. Every derived artifact (analysis, active
+	// domain, cached plans) records the epoch it was computed at and is
+	// invalid once the DB's epoch moves past it.
+	epoch uint64
+
+	// analysisMu guards the memoized Section 2 classification.
+	analysisMu sync.Mutex
+	info       *analysis.Info
+	infoEpoch  uint64
+
+	// domainMu guards the memoized active domain.
+	domainMu    sync.Mutex
+	domain      []symtab.Sym
+	domainEpoch uint64
+
+	// plans is the prepared-plan cache behind Query/QueryOpts.
+	plans planCache
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
 	st := symtab.NewTable()
-	return &DB{st: st, store: edb.NewStore(st), prog: &ast.Program{}, dirty: true}
+	return &DB{st: st, store: edb.NewStore(st), prog: &ast.Program{}, epoch: 1}
+}
+
+// bumpEpoch invalidates derived state; the caller must hold db.mu
+// exclusively. The plan cache is emptied too, so plans compiled against
+// a replaced store do not pin it in memory (a stale entry rebuilds from
+// scratch anyway, so dropping it loses nothing). Prepared handles held
+// by callers still self-heal on their next Run.
+func (db *DB) bumpEpoch() {
+	db.epoch++
+	db.plans.clear()
 }
 
 // LoadProgram parses Datalog text and adds its rules to the intensional
@@ -71,14 +125,22 @@ func (db *DB) LoadProgram(src string) error {
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.prog.Rules = append(db.prog.Rules, res.Program.Rules...)
+	derived := db.prog.DerivedSet()
 	for _, f := range res.Facts {
-		if db.prog.DerivedSet()[f.Pred] {
+		if derived[f.Pred] {
+			// Roll back the rules added above so a failed load leaves the
+			// program unchanged.
+			db.prog.Rules = db.prog.Rules[:len(db.prog.Rules)-len(res.Program.Rules)]
 			return fmt.Errorf("chainlog: %s appears both as a fact and a rule head", f.Pred)
 		}
+	}
+	for _, f := range res.Facts {
 		db.store.Insert(f.Pred, f.Args...)
 	}
-	db.dirty = true
+	db.bumpEpoch()
 	return nil
 }
 
@@ -88,12 +150,18 @@ func (db *DB) Assert(pred string, args ...string) {
 	for i, a := range args {
 		syms[i] = db.st.Intern(a)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.store.Insert(pred, syms...)
+	db.bumpEpoch()
 }
 
 // AssertSyms inserts a ground fact of pre-interned symbols.
 func (db *DB) AssertSyms(pred string, args ...symtab.Sym) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.store.Insert(pred, args...)
+	db.bumpEpoch()
 }
 
 // Intern returns the interned symbol for a constant name.
@@ -106,8 +174,14 @@ func (db *DB) Name(s symtab.Sym) string { return db.st.Name(s) }
 func (db *DB) SymTab() *symtab.Table { return db.st }
 
 // Store exposes the extensional store (for workload generators and
-// benchmarks that construct facts directly).
-func (db *DB) Store() *edb.Store { return db.store }
+// benchmarks that construct facts directly). Mutating the store directly
+// bypasses the DB's locking and plan invalidation; call Invalidate — or
+// use SetStore — afterwards if queries may already have run.
+func (db *DB) Store() *edb.Store {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store
+}
 
 // SetStore replaces the extensional store. The store must share the DB's
 // symbol table.
@@ -115,17 +189,51 @@ func (db *DB) SetStore(s *edb.Store) {
 	if s.SymTab() != db.st {
 		panic("chainlog: store does not share the DB symbol table")
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.store = s
+	db.bumpEpoch()
 }
 
-// Program exposes the parsed intensional database.
+// Invalidate discards every cached plan and memoized analysis, forcing
+// recompilation on the next query. It is only needed after mutating the
+// Store() directly; LoadProgram, Assert and SetStore invalidate
+// automatically.
+func (db *DB) Invalidate() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.bumpEpoch()
+}
+
+// Epoch returns the current mutation epoch. Two calls returning the same
+// value bracket a span during which no program or fact mutation happened.
+func (db *DB) Epoch() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.epoch
+}
+
+// Program exposes the parsed intensional database. The returned program
+// is the DB's live copy: reading it concurrently with LoadProgram is a
+// data race, so callers sharing the DB across goroutines must not hold
+// it across mutations.
 func (db *DB) Program() *ast.Program { return db.prog }
 
 // Analysis returns the Section 2 classification of the current program.
 func (db *DB) Analysis() *analysis.Info {
-	if db.dirty || db.info == nil {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.analysisLocked()
+}
+
+// analysisLocked returns the memoized classification; the caller must
+// hold db.mu (shared or exclusive).
+func (db *DB) analysisLocked() *analysis.Info {
+	db.analysisMu.Lock()
+	defer db.analysisMu.Unlock()
+	if db.info == nil || db.infoEpoch != db.epoch {
 		db.info = analysis.Analyze(db.prog)
-		db.dirty = false
+		db.infoEpoch = db.epoch
 	}
 	return db.info
 }
@@ -155,8 +263,23 @@ func (db *DB) Classify() Classification {
 }
 
 // ActiveDomain returns the sorted set of constants occurring in the
-// extensional database.
+// extensional database. The scan is memoized and invalidated by the same
+// epoch that invalidates cached plans, so ff queries do not rescan every
+// relation on each call. The returned slice is the caller's to mutate.
 func (db *DB) ActiveDomain() []symtab.Sym {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]symtab.Sym(nil), db.activeDomainLocked()...)
+}
+
+// activeDomainLocked returns the memoized active domain; the caller must
+// hold db.mu (shared or exclusive).
+func (db *DB) activeDomainLocked() []symtab.Sym {
+	db.domainMu.Lock()
+	defer db.domainMu.Unlock()
+	if db.domain != nil && db.domainEpoch == db.epoch {
+		return db.domain
+	}
 	set := make(map[symtab.Sym]bool)
 	for _, name := range db.store.Relations() {
 		r := db.store.Relation(name)
@@ -171,11 +294,22 @@ func (db *DB) ActiveDomain() []symtab.Sym {
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	db.domain = out
+	db.domainEpoch = db.epoch
 	return out
 }
 
 // ResetCounters zeroes the extensional store's retrieval counters.
-func (db *DB) ResetCounters() { db.store.Counters.Reset() }
+func (db *DB) ResetCounters() {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.store.Counters.Reset()
+}
 
-// Counters returns the extensional store's retrieval counters.
-func (db *DB) Counters() edb.Counters { return db.store.Counters }
+// Counters returns an atomically read copy of the extensional store's
+// retrieval counters.
+func (db *DB) Counters() edb.Counters {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.CountersSnapshot()
+}

@@ -110,8 +110,10 @@ func evalAndPrint(db *chainlog.DB, queryText string, opts chainlog.Options, stat
 	}
 	if stats {
 		s := ans.Stats
-		fmt.Fprintf(os.Stderr, "strategy=%v iterations=%d nodes=%d expansions=%d facts=%d lookups=%d firings=%d converged=%v\n",
-			s.Strategy, s.Iterations, s.Nodes, s.Expansions, s.FactsConsulted, s.Lookups, s.Firings, s.Converged)
+		pc := db.PlanCacheStats()
+		fmt.Fprintf(os.Stderr, "strategy=%v iterations=%d nodes=%d expansions=%d facts=%d lookups=%d firings=%d converged=%v plans=%d hit=%d miss=%d\n",
+			s.Strategy, s.Iterations, s.Nodes, s.Expansions, s.FactsConsulted, s.Lookups, s.Firings, s.Converged,
+			pc.Size, pc.Hits, pc.Misses)
 	}
 	return nil
 }
@@ -119,6 +121,12 @@ func evalAndPrint(db *chainlog.DB, queryText string, opts chainlog.Options, stat
 // repl reads queries (or facts/rules terminated by '.') from stdin until
 // EOF. Lines starting with '?' or containing no ':-' and ending in '?'
 // are treated as queries; lines ending in '.' are asserted.
+//
+// Queries run through the DB's plan cache, so re-asking a query shape
+// with different constants (sg(john, Y)? then sg(ann, Y)?) reuses the
+// compiled plan instead of recompiling it; assertions bump the DB epoch
+// and plans transparently recompile on next use. Run with -stats to
+// watch the plans/hit/miss counters move.
 func repl(db *chainlog.DB, opts chainlog.Options, stats bool) error {
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Fprintln(os.Stderr, "chainlog: enter queries like 'sg(john, Y)?' or assertions like 'up(a, b).'; ctrl-D to exit")

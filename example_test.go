@@ -33,6 +33,36 @@ func ExampleDB_Query() {
 	// john
 }
 
+// Compile once, bind many: a parameterized query is prepared into a
+// fixed plan and run for several bound constants.
+func ExampleDB_Prepare() {
+	db := chainlog.NewDB()
+	err := db.LoadProgram(`
+		sg(X, Y) :- flat(X, Y).
+		sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+
+		up(john, carol). up(ann, carol). flat(carol, carol).
+		down(carol, john). down(carol, ann).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sg, err := db.Prepare("sg(?, Y)", chainlog.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, who := range []string{"john", "ann"} {
+		ans, err := sg.Run(who)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(who, "->", ans.Rows)
+	}
+	// Output:
+	// john -> [[ann] [john]]
+	// ann -> [[ann] [john]]
+}
+
 // Selecting a comparison strategy per query.
 func ExampleDB_QueryOpts() {
 	db := chainlog.NewDB()

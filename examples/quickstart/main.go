@@ -1,6 +1,7 @@
-// Quickstart: the paper's same-generation query evaluated with the
-// graph-traversal strategy and cross-checked against the classical
-// methods.
+// Quickstart: the paper's same-generation query, prepared once and run
+// for many bound constants — the paper's "fixed automaton hierarchy
+// driven by the query constant" surfaced as an API — then cross-checked
+// against the classical strategies.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	"chainlog"
 )
@@ -37,17 +39,56 @@ func main() {
 	fmt.Printf("program classes: recursive=%v linear=%v binary-chain=%v regular=%v\n\n",
 		c.Recursive, c.Linear, c.BinaryChain, c.Regular)
 
-	// The default strategy is the paper's demand-driven graph traversal.
-	ans, err := db.Query("sg(john, Y)")
+	// Prepare compiles the query once: program slicing, classification,
+	// the Lemma 1 equation build and automaton construction all happen
+	// here. '?' marks the bound argument supplied per run.
+	sg, err := db.Prepare("sg(?, Y)", chainlog.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("sg(john, Y) — same-generation cousins of john:")
-	for _, row := range ans.Rows {
-		fmt.Printf("  %s\n", row[0])
+
+	// Run only executes the demand-driven traversal — bind many.
+	for _, who := range []string{"john", "ann", "bob"} {
+		ans, err := sg.Run(who)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sg(%s, Y): same-generation cousins:\n", who)
+		for _, row := range ans.Rows {
+			fmt.Printf("  %s\n", row[0])
+		}
+		fmt.Printf("  iterations=%d graph-nodes=%d facts-consulted=%d\n",
+			ans.Stats.Iterations, ans.Stats.Nodes, ans.Stats.FactsConsulted)
 	}
-	fmt.Printf("iterations=%d graph-nodes=%d facts-consulted=%d\n\n",
-		ans.Stats.Iterations, ans.Stats.Nodes, ans.Stats.FactsConsulted)
+
+	// A Prepared is safe for concurrent use: goroutines share the plan,
+	// each running it with its own constant.
+	var wg sync.WaitGroup
+	results := make([]int, 3)
+	for i, who := range []string{"john", "ann", "bob"} {
+		wg.Add(1)
+		go func(i int, who string) {
+			defer wg.Done()
+			ans, err := sg.Run(who)
+			if err != nil {
+				log.Fatal(err)
+			}
+			results[i] = len(ans.Rows)
+		}(i, who)
+	}
+	wg.Wait()
+	fmt.Printf("\nconcurrent runs: answer counts %v\n\n", results)
+
+	// One-shot queries work too, and hit the same plan cache: the second
+	// query below reuses the plan the first one compiled.
+	if _, err := db.Query("sg(carol, Y)"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Query("sg(david, Y)"); err != nil {
+		log.Fatal(err)
+	}
+	pc := db.PlanCacheStats()
+	fmt.Printf("plan cache: %d plans, %d hits, %d misses\n\n", pc.Size, pc.Hits, pc.Misses)
 
 	// Every classical strategy agrees.
 	for _, s := range []chainlog.Strategy{
@@ -61,9 +102,13 @@ func main() {
 		fmt.Printf("%-16v -> %d answers, %d facts consulted\n", s, len(a.Rows), a.Stats.FactsConsulted)
 	}
 
-	// Boolean queries bind both arguments and route through the
+	// Boolean templates bind both arguments and route through the
 	// Section 4 transformation, using both bindings.
-	both, err := db.Query("sg(john, bob)")
+	isCousin, err := db.Prepare("sg(?, ?)", chainlog.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	both, err := isCousin.Run("john", "bob")
 	if err != nil {
 		log.Fatal(err)
 	}

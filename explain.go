@@ -17,8 +17,10 @@ import (
 // the adorned program and generated binary-chain program for queries
 // routed through the Section 4 transformation.
 func (db *DB) Explain(query string) (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var b strings.Builder
-	info := db.Analysis()
+	info := db.analysisLocked()
 
 	if info.BinaryChainProgram() {
 		sys, err := equations.Transform(db.prog)

@@ -1,0 +1,3 @@
+module chainlog
+
+go 1.24

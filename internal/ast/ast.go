@@ -30,8 +30,18 @@ func V(name string) Term { return Term{Var: name} }
 // C constructs a constant term.
 func C(s symtab.Sym) Term { return Term{Const: s} }
 
+// Hole constructs a parameter placeholder term, written '?' in query
+// templates. A hole behaves like a bound constant for adornment and
+// classification purposes; its value is supplied when the prepared query
+// runs. The zero Term is a hole — real constants always intern to a
+// non-None Sym, and variables have a name.
+func Hole() Term { return Term{} }
+
 // IsVar reports whether t is a variable.
 func (t Term) IsVar() bool { return t.Var != "" }
+
+// IsHole reports whether t is a parameter placeholder.
+func (t Term) IsHole() bool { return t.Var == "" && t.Const == symtab.None }
 
 // Render formats the term using the given symbol table (nil is allowed
 // for variables). Constants whose names would not scan back as a single
@@ -40,6 +50,9 @@ func (t Term) IsVar() bool { return t.Var != "" }
 func (t Term) Render(st *symtab.Table) string {
 	if t.IsVar() {
 		return t.Var
+	}
+	if t.IsHole() {
+		return "?"
 	}
 	if st == nil {
 		return fmt.Sprintf("#%d", int(t.Const))

@@ -15,9 +15,17 @@ package automaton
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"chainlog/internal/expr"
 )
+
+// compiles counts Compile calls process-wide; tests assert plan reuse
+// ("compile once, bind many") by checking it stays flat across runs.
+var compiles atomic.Int64
+
+// CompileCount returns the total number of Compile calls so far.
+func CompileCount() int64 { return compiles.Load() }
 
 // Label is a transition label: a predicate symbol (possibly traversed
 // inversely) or the identity relation.
@@ -172,6 +180,7 @@ func (m *NFA) String() string {
 // subexpressions are compiled by reversing them first, so inverse labels
 // appear only on predicate transitions.
 func Compile(e expr.Expr) *NFA {
+	compiles.Add(1)
 	m := &NFA{}
 	s, f := m.compile(e)
 	m.Start, m.Final = s, f

@@ -18,6 +18,7 @@ package binchain
 
 import (
 	"fmt"
+	"sync"
 
 	"chainlog/internal/adorn"
 	"chainlog/internal/ast"
@@ -48,8 +49,25 @@ type Transformed struct {
 	// against the extensional store.
 	Source chaineval.Source
 
-	st   *symtab.Table
-	base *edb.Store
+	st       *symtab.Table
+	base     *edb.Store
+	numBound int
+}
+
+// NumBound returns the number of bound argument positions of the query
+// the transformation was built for (the length of the t(c̄) tuple).
+func (t *Transformed) NumBound() int { return t.numBound }
+
+// Bind interns the tuple term t(c̄) for a fresh vector of bound-argument
+// values, in query-literal position order. The transformation itself
+// depends only on the query's binding pattern, so one Transformed may be
+// reused — concurrently — for any number of bound-constant vectors; Bind
+// supplies the per-query start term without redoing the transformation.
+func (t *Transformed) Bind(bound []symtab.Sym) (symtab.Sym, error) {
+	if len(bound) != t.numBound {
+		return symtab.None, fmt.Errorf("binchain: got %d bound values, query pattern has %d", len(bound), t.numBound)
+	}
+	return t.st.InternTuple(bound), nil
 }
 
 // BinPredName returns the binary predicate name for an adorned predicate.
@@ -146,6 +164,7 @@ func FromAdorned(ap *adorn.Program, base *edb.Store) (*Transformed, error) {
 			t.FreeVars = append(t.FreeVars, a.Var)
 		}
 	}
+	t.numBound = len(boundVals)
 	t.BoundArg = t.st.InternTuple(boundVals)
 	return t, nil
 }
@@ -223,25 +242,26 @@ type virtualSource struct {
 	// programs evaluated in unsafe mode: the rule out-r(t(Z̄f), t(X̄f)) :-
 	// ... may not bind all of X̄f, and declaratively such a variable
 	// ranges over the whole domain — the paper's counterexample).
-	domain []symtab.Sym
+	// domainOnce makes the lazy scan safe under concurrent evaluation.
+	domainOnce sync.Once
+	domain     []symtab.Sym
 }
 
 func (v *virtualSource) activeDomain() []symtab.Sym {
-	if v.domain != nil {
-		return v.domain
-	}
-	set := map[symtab.Sym]bool{}
-	for _, name := range v.base.Relations() {
-		r := v.base.Relation(name)
-		for i := 0; i < r.Len(); i++ {
-			for _, s := range r.Tuple(i) {
-				set[s] = true
+	v.domainOnce.Do(func() {
+		set := map[symtab.Sym]bool{}
+		for _, name := range v.base.Relations() {
+			r := v.base.Relation(name)
+			for i := 0; i < r.Len(); i++ {
+				for _, s := range r.Tuple(i) {
+					set[s] = true
+				}
 			}
 		}
-	}
-	for s := range set {
-		v.domain = append(v.domain, s)
-	}
+		for s := range set {
+			v.domain = append(v.domain, s)
+		}
+	})
 	return v.domain
 }
 

@@ -23,6 +23,8 @@ package chaineval
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"chainlog/internal/automaton"
 	"chainlog/internal/equations"
@@ -91,19 +93,73 @@ type Result struct {
 }
 
 // Engine evaluates queries over one equation system and one source.
+//
+// An Engine is reusable: the automata M(e_r), the reversed equation
+// system and the linear-shape decompositions are compiled once and cached,
+// so the same engine answers queries for many different bound constants
+// without recompiling anything. All caches are guarded by an internal
+// mutex and the per-query state is local to each call, so one engine may
+// serve Query/QueryInverse/QueryAll from many goroutines concurrently
+// (provided its Source is itself safe for concurrent reads, as the
+// extensional store is).
 type Engine struct {
 	sys  *equations.System
 	src  Source
 	opts Options
+
+	// mu serializes additions to the compilation caches below; lookups
+	// go through the atomic pointers without locking (the maps are
+	// copy-on-write), keeping concurrent queries off a shared lock.
+	mu sync.Mutex
 	// compiled caches M(e_r) per derived predicate.
-	compiled map[string]*automaton.NFA
+	compiled atomic.Pointer[map[string]*automaton.NFA]
 	// reversed caches the reversed equation system for p(X,b) queries.
-	reversed *equations.System
+	reversed atomic.Pointer[equations.System]
+	// shapes caches the linear decomposition p = e0 ∪ e1·p·e2 and its
+	// compiled automata per predicate (used by the cyclic guard).
+	shapes atomic.Pointer[map[string]*shapeAutomata]
+}
+
+// shapeAutomata is a cached LinearDecompose result with the automata of
+// its three parts precompiled.
+type shapeAutomata struct {
+	ok         bool
+	e0, e1, e2 *automaton.NFA
 }
 
 // New returns an engine over the system and source.
 func New(sys *equations.System, src Source, opts Options) *Engine {
-	return &Engine{sys: sys, src: src, opts: opts, compiled: make(map[string]*automaton.NFA)}
+	e := &Engine{sys: sys, src: src, opts: opts}
+	compiled := make(map[string]*automaton.NFA)
+	e.compiled.Store(&compiled)
+	shapes := make(map[string]*shapeAutomata)
+	e.shapes.Store(&shapes)
+	return e
+}
+
+// Precompile compiles and caches the automaton M(e_p) of every equation
+// in the system (forward direction), plus the cyclic-guard shape automata
+// for pred, so that subsequent Query calls perform no compilation at all.
+// Prepared query plans call this once at plan-build time.
+func (e *Engine) Precompile(pred string) {
+	for _, p := range e.sys.Order {
+		e.compileFor(e.sys, p)
+	}
+	if !e.opts.DisableCyclicGuard {
+		e.shapeFor(e.sys, pred)
+	}
+}
+
+// PrecompileInverse builds the reversed equation system and compiles its
+// automata, the analogue of Precompile for p(X, b) query plans.
+func (e *Engine) PrecompileInverse(pred string) {
+	rev := e.reversedSystem()
+	for _, p := range rev.Order {
+		e.compileFor(rev, p)
+	}
+	if !e.opts.DisableCyclicGuard {
+		e.shapeFor(rev, pred)
+	}
 }
 
 // System returns the engine's equation system.
@@ -111,11 +167,10 @@ func (e *Engine) System() *equations.System { return e.sys }
 
 // Query evaluates p(a, Y) and returns the sorted set of Y values.
 func (e *Engine) Query(pred string, a symtab.Sym) (*Result, error) {
-	eq, ok := e.sys.EquationFor(pred)
-	if !ok {
+	if _, ok := e.sys.EquationFor(pred); !ok {
 		return nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
-	return e.run(e.sys, pred, eq, a)
+	return e.run(e.sys, pred, a)
 }
 
 // QueryInverse evaluates p(X, b) by applying the algorithm to the
@@ -123,11 +178,10 @@ func (e *Engine) Query(pred string, a symtab.Sym) (*Result, error) {
 // the algorithm to the query r(b,Y), where r is the inverse of p").
 func (e *Engine) QueryInverse(pred string, b symtab.Sym) (*Result, error) {
 	rev := e.reversedSystem()
-	eq, ok := rev.EquationFor(pred)
-	if !ok {
+	if _, ok := rev.EquationFor(pred); !ok {
 		return nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
-	return e.run(rev, pred, eq, b)
+	return e.run(rev, pred, b)
 }
 
 // QueryBoolean evaluates p(a, b). The binding of the second argument
@@ -152,17 +206,16 @@ func (e *Engine) QueryBoolean(pred string, a, b symtab.Sym) (bool, *Result, erro
 // optimization (Tarjan) so shared subgraphs are traversed once; otherwise
 // it evaluates per source.
 func (e *Engine) QueryAll(pred string, domain []symtab.Sym) ([][2]symtab.Sym, *Result, error) {
-	eq, ok := e.sys.EquationFor(pred)
-	if !ok {
+	if _, ok := e.sys.EquationFor(pred); !ok {
 		return nil, nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
 	if e.sys.IsRegularFor(pred) {
-		return e.allPairsRegular(eq, domain)
+		return e.allPairsRegular(pred, domain)
 	}
 	var pairs [][2]symtab.Sym
 	agg := &Result{Converged: true}
 	for _, a := range domain {
-		res, err := e.run(e.sys, pred, eq, a)
+		res, err := e.run(e.sys, pred, a)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -187,7 +240,7 @@ type node struct {
 }
 
 // run is the main program of Figure 4.
-func (e *Engine) run(sys *equations.System, pred string, eq expr.Expr, a symtab.Sym) (*Result, error) {
+func (e *Engine) run(sys *equations.System, pred string, a symtab.Sym) (*Result, error) {
 	em := e.compileFor(sys, pred).Clone() // EM(p,1) = copy of M(e_p)
 	res := &Result{}
 
@@ -332,19 +385,66 @@ func (e *Engine) run(sys *equations.System, pred string, eq expr.Expr, a symtab.
 	return res, nil
 }
 
-// compileFor returns the cached M(e_p) for the given system (forward
-// systems share e.compiled; reversed systems use a prefixed key).
-func (e *Engine) compileFor(sys *equations.System, pred string) *automaton.NFA {
-	key := pred
-	if sys == e.reversed {
-		key = "\x00rev\x00" + pred
+// cacheKey disambiguates forward and reversed systems in the shared
+// caches.
+func (e *Engine) cacheKey(sys *equations.System, pred string) string {
+	if sys == e.reversed.Load() {
+		return "\x00rev\x00" + pred
 	}
-	if m, ok := e.compiled[key]; ok {
+	return pred
+}
+
+// compileFor returns the cached M(e_p) for the given system (forward
+// systems share e.compiled; reversed systems use a prefixed key). Safe
+// for concurrent use; the fast path is a lock-free map read.
+func (e *Engine) compileFor(sys *equations.System, pred string) *automaton.NFA {
+	key := e.cacheKey(sys, pred)
+	if m, ok := (*e.compiled.Load())[key]; ok {
+		return m
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := *e.compiled.Load()
+	if m, ok := cur[key]; ok {
 		return m
 	}
 	m := automaton.Compile(sys.Eq[pred])
-	e.compiled[key] = m
+	next := make(map[string]*automaton.NFA, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = m
+	e.compiled.Store(&next)
 	return m
+}
+
+// shapeFor returns the cached linear decomposition of pred's equation
+// with its part automata compiled, computing it on first use.
+func (e *Engine) shapeFor(sys *equations.System, pred string) *shapeAutomata {
+	key := e.cacheKey(sys, pred)
+	if s, ok := (*e.shapes.Load())[key]; ok {
+		return s
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := *e.shapes.Load()
+	if s, ok := cur[key]; ok {
+		return s
+	}
+	s := &shapeAutomata{}
+	if shape, ok := sys.LinearDecompose(pred); ok {
+		s.ok = true
+		s.e0 = automaton.Compile(shape.E0)
+		s.e1 = automaton.Compile(shape.E1)
+		s.e2 = automaton.Compile(shape.E2)
+	}
+	next := make(map[string]*shapeAutomata, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[key] = s
+	e.shapes.Store(&next)
+	return s
 }
 
 // reversedSystem builds (once) the equation system for the inverse
@@ -352,8 +452,13 @@ func (e *Engine) compileFor(sys *equations.System, pred string) *automaton.NFA {
 // compositions, pushes inverses onto base predicates, and keeps derived
 // predicates as references to their (reversed) equations.
 func (e *Engine) reversedSystem() *equations.System {
-	if e.reversed != nil {
-		return e.reversed
+	if rev := e.reversed.Load(); rev != nil {
+		return rev
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rev := e.reversed.Load(); rev != nil {
+		return rev
 	}
 	rev := &equations.System{
 		Order:         append([]string(nil), e.sys.Order...),
@@ -364,7 +469,7 @@ func (e *Engine) reversedSystem() *equations.System {
 	for _, p := range e.sys.Order {
 		rev.Eq[p] = reverseExpr(e.sys.Eq[p], e.sys.Derived)
 	}
-	e.reversed = rev
+	e.reversed.Store(rev)
 	return rev
 }
 
@@ -406,13 +511,13 @@ func reverseExpr(ex expr.Expr, derived map[string]bool) expr.Expr {
 // nodes accessible via e2 from the e0-images of those (the paper's D1 and
 // D2 sets). Returns 0 when the shape does not apply.
 func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym) int {
-	shape, ok := sys.LinearDecompose(pred)
-	if !ok {
+	sh := e.shapeFor(sys, pred)
+	if !sh.ok {
 		return 0
 	}
-	d1 := e.accessible(shape.E1, []symtab.Sym{a})
-	starts2 := e.imageSet(shape.E0, d1)
-	d2 := e.accessible(shape.E2, starts2)
+	d1 := e.accessible(sh.e1, []symtab.Sym{a})
+	starts2 := e.imageSet(sh.e0, d1)
+	d2 := e.accessible(sh.e2, starts2)
 	m, n := len(d1), len(d2)
 	if m == 0 {
 		m = 1
@@ -424,9 +529,9 @@ func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym) i
 }
 
 // accessible returns the set of terms reachable from starts by zero or
-// more applications of the relation denoted by ex (including the starts).
-func (e *Engine) accessible(ex expr.Expr, starts []symtab.Sym) []symtab.Sym {
-	m := automaton.Compile(ex)
+// more applications of the relation denoted by the compiled automaton m
+// (including the starts).
+func (e *Engine) accessible(m *automaton.NFA, starts []symtab.Sym) []symtab.Sym {
 	seen := make(map[symtab.Sym]bool)
 	work := append([]symtab.Sym(nil), starts...)
 	for _, s := range starts {
@@ -445,9 +550,9 @@ func (e *Engine) accessible(ex expr.Expr, starts []symtab.Sym) []symtab.Sym {
 	return sortedSyms(seen)
 }
 
-// imageSet returns the union of images of the given terms under ex.
-func (e *Engine) imageSet(ex expr.Expr, starts []symtab.Sym) []symtab.Sym {
-	m := automaton.Compile(ex)
+// imageSet returns the union of images of the given terms under the
+// compiled automaton m.
+func (e *Engine) imageSet(m *automaton.NFA, starts []symtab.Sym) []symtab.Sym {
 	out := make(map[symtab.Sym]bool)
 	for _, s := range starts {
 		for _, v := range e.regularImage(m, s) {
@@ -500,8 +605,8 @@ func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym) []symtab.Sym {
 // the condensation in reverse topological order, so subgraphs shared
 // between sources are traversed once (the optimization the paper
 // attributes to [19, 21]).
-func (e *Engine) allPairsRegular(eq expr.Expr, domain []symtab.Sym) ([][2]symtab.Sym, *Result, error) {
-	m := automaton.Compile(eq)
+func (e *Engine) allPairsRegular(pred string, domain []symtab.Sym) ([][2]symtab.Sym, *Result, error) {
+	m := e.compileFor(e.sys, pred)
 	res := &Result{Iterations: 1, Converged: true}
 
 	ids := make(map[node]int)

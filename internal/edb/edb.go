@@ -11,11 +11,16 @@ package edb
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"chainlog/internal/symtab"
 )
 
 // Counters accumulates access statistics across a store's relations.
+// Increments are atomic, so concurrent readers of a store may probe it
+// simultaneously; read the fields directly only when no probes are in
+// flight, or take an atomic Snapshot.
 type Counters struct {
 	// Lookups is the number of index probes (Successors, Predecessors,
 	// Match calls).
@@ -25,15 +30,41 @@ type Counters struct {
 }
 
 // Reset zeroes the counters.
-func (c *Counters) Reset() { *c = Counters{} }
+func (c *Counters) Reset() {
+	atomic.StoreInt64(&c.Lookups, 0)
+	atomic.StoreInt64(&c.Retrieved, 0)
+}
+
+// Snapshot returns an atomically read copy of the counters.
+func (c *Counters) Snapshot() Counters {
+	return Counters{
+		Lookups:   atomic.LoadInt64(&c.Lookups),
+		Retrieved: atomic.LoadInt64(&c.Retrieved),
+	}
+}
+
+// count records one probe returning n tuples.
+func (c *Counters) count(n int64) {
+	atomic.AddInt64(&c.Lookups, 1)
+	atomic.AddInt64(&c.Retrieved, n)
+}
 
 // Store holds all extensional relations of one database instance.
+//
+// Concurrency: read operations (Relation, Successors, Predecessors,
+// Match, Each, Contains) are safe to call from many goroutines at once —
+// lazily built indexes are constructed under a per-relation lock and
+// counters are atomic. Mutations (Insert, SetStore on the owning DB)
+// require external exclusion of all readers; the chainlog.DB write lock
+// provides it.
 type Store struct {
-	st    *symtab.Table
-	rels  map[string]*Relation
-	names []string
-	// Counters is shared by every relation in the store.
+	// Counters is shared by every relation in the store. It is the
+	// first field so its int64s stay 8-byte aligned on 32-bit platforms
+	// (sync/atomic requires it).
 	Counters Counters
+	st       *symtab.Table
+	rels     map[string]*Relation
+	names    []string
 }
 
 // NewStore returns an empty store over the given symbol table.
@@ -43,6 +74,10 @@ func NewStore(st *symtab.Table) *Store {
 
 // SymTab returns the store's symbol table.
 func (s *Store) SymTab() *symtab.Table { return s.st }
+
+// CountersSnapshot returns an atomically read copy of the store's
+// counters, safe to take while probes are in flight.
+func (s *Store) CountersSnapshot() Counters { return s.Counters.Snapshot() }
 
 // Insert adds a tuple to relation pred, creating the relation on first
 // use. Inserting a duplicate tuple is a no-op. Insert panics if pred is
@@ -104,21 +139,28 @@ type Relation struct {
 	n     int // tuple count (flat length / arity, except for arity 0)
 	flat  []symtab.Sym
 	seen  map[string]bool
-	// indexes[mask] indexes the columns whose bit is set in mask.
-	indexes map[uint32]map[string][]int32
+	// mu guards lazy construction of the structures below; readers go
+	// through the atomic pointers without locking, so concurrent probes
+	// scale while a racing first build happens exactly once.
+	mu sync.Mutex
+	// indexes[mask] indexes the columns whose bit is set in mask. The
+	// outer map is copy-on-write: adding a mask publishes a new map.
+	indexes atomic.Pointer[map[uint32]map[string][]int32]
 	// adjacency caches for the binary fast path
-	fwd map[symtab.Sym][]symtab.Sym
-	rev map[symtab.Sym][]symtab.Sym
+	fwd atomic.Pointer[map[symtab.Sym][]symtab.Sym]
+	rev atomic.Pointer[map[symtab.Sym][]symtab.Sym]
 }
 
 func newRelation(s *Store, name string, arity int) *Relation {
-	return &Relation{
-		store:   s,
-		name:    name,
-		arity:   arity,
-		seen:    make(map[string]bool),
-		indexes: make(map[uint32]map[string][]int32),
+	r := &Relation{
+		store: s,
+		name:  name,
+		arity: arity,
+		seen:  make(map[string]bool),
 	}
+	idx := make(map[uint32]map[string][]int32)
+	r.indexes.Store(&idx)
+	return r
 }
 
 // Name returns the relation name.
@@ -148,17 +190,21 @@ func (r *Relation) insert(args []symtab.Sym) {
 	r.flat = append(r.flat, args...)
 	r.n++
 	// Invalidate caches: appending keeps existing index entries valid,
-	// so extend instead of dropping when already built.
+	// so extend instead of dropping when already built. Mutation requires
+	// external exclusion of readers (see Store doc), so updating the
+	// published maps in place is safe here.
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	idx := int32(r.n - 1)
-	for mask, m := range r.indexes {
+	for mask, m := range *r.indexes.Load() {
 		k := encodeMasked(args, mask)
 		m[k] = append(m[k], idx)
 	}
-	if r.fwd != nil && r.arity == 2 {
-		r.fwd[args[0]] = append(r.fwd[args[0]], args[1])
+	if fwd := r.fwd.Load(); fwd != nil && r.arity == 2 {
+		(*fwd)[args[0]] = append((*fwd)[args[0]], args[1])
 	}
-	if r.rev != nil && r.arity == 2 {
-		r.rev[args[1]] = append(r.rev[args[1]], args[0])
+	if rev := r.rev.Load(); rev != nil && r.arity == 2 {
+		(*rev)[args[1]] = append((*rev)[args[1]], args[0])
 	}
 }
 
@@ -174,9 +220,8 @@ func (r *Relation) Each(f func(tuple []symtab.Sym)) {
 	if r == nil {
 		return
 	}
-	r.store.Counters.Lookups++
 	n := r.Len()
-	r.store.Counters.Retrieved += int64(n)
+	r.store.Counters.count(int64(n))
 	for i := 0; i < n; i++ {
 		f(r.Tuple(i))
 	}
@@ -187,11 +232,11 @@ func (r *Relation) Contains(args []symtab.Sym) bool {
 	if r == nil {
 		return false
 	}
-	r.store.Counters.Lookups++
 	if r.seen[encode(args)] {
-		r.store.Counters.Retrieved++
+		r.store.Counters.count(1)
 		return true
 	}
+	r.store.Counters.count(0)
 	return false
 }
 
@@ -204,16 +249,22 @@ func (r *Relation) Successors(u symtab.Sym) []symtab.Sym {
 	if r.arity != 2 {
 		panic("edb: Successors on non-binary relation " + r.name)
 	}
-	if r.fwd == nil {
-		r.fwd = make(map[symtab.Sym][]symtab.Sym)
-		for i := 0; i < r.Len(); i++ {
-			t := r.Tuple(i)
-			r.fwd[t[0]] = append(r.fwd[t[0]], t[1])
+	fwd := r.fwd.Load()
+	if fwd == nil {
+		r.mu.Lock()
+		if fwd = r.fwd.Load(); fwd == nil {
+			m := make(map[symtab.Sym][]symtab.Sym)
+			for i := 0; i < r.Len(); i++ {
+				t := r.Tuple(i)
+				m[t[0]] = append(m[t[0]], t[1])
+			}
+			fwd = &m
+			r.fwd.Store(fwd)
 		}
+		r.mu.Unlock()
 	}
-	r.store.Counters.Lookups++
-	out := r.fwd[u]
-	r.store.Counters.Retrieved += int64(len(out))
+	out := (*fwd)[u]
+	r.store.Counters.count(int64(len(out)))
 	return out
 }
 
@@ -225,16 +276,22 @@ func (r *Relation) Predecessors(v symtab.Sym) []symtab.Sym {
 	if r.arity != 2 {
 		panic("edb: Predecessors on non-binary relation " + r.name)
 	}
-	if r.rev == nil {
-		r.rev = make(map[symtab.Sym][]symtab.Sym)
-		for i := 0; i < r.Len(); i++ {
-			t := r.Tuple(i)
-			r.rev[t[1]] = append(r.rev[t[1]], t[0])
+	rev := r.rev.Load()
+	if rev == nil {
+		r.mu.Lock()
+		if rev = r.rev.Load(); rev == nil {
+			m := make(map[symtab.Sym][]symtab.Sym)
+			for i := 0; i < r.Len(); i++ {
+				t := r.Tuple(i)
+				m[t[1]] = append(m[t[1]], t[0])
+			}
+			rev = &m
+			r.rev.Store(rev)
 		}
+		r.mu.Unlock()
 	}
-	r.store.Counters.Lookups++
-	out := r.rev[v]
-	r.store.Counters.Retrieved += int64(len(out))
+	out := (*rev)[v]
+	r.store.Counters.count(int64(len(out)))
 	return out
 }
 
@@ -263,27 +320,37 @@ func (r *Relation) Match(mask uint32, bound []symtab.Sym) []int32 {
 		return nil
 	}
 	if mask == 0 {
-		r.store.Counters.Lookups++
 		n := r.Len()
-		r.store.Counters.Retrieved += int64(n)
+		r.store.Counters.count(int64(n))
 		out := make([]int32, n)
 		for i := range out {
 			out[i] = int32(i)
 		}
 		return out
 	}
-	idx, ok := r.indexes[mask]
+	idx, ok := (*r.indexes.Load())[mask]
 	if !ok {
-		idx = make(map[string][]int32)
-		for i := 0; i < r.Len(); i++ {
-			k := encodeMasked(r.Tuple(i), mask)
-			idx[k] = append(idx[k], int32(i))
+		r.mu.Lock()
+		cur := *r.indexes.Load()
+		if idx, ok = cur[mask]; !ok {
+			idx = make(map[string][]int32)
+			for i := 0; i < r.Len(); i++ {
+				k := encodeMasked(r.Tuple(i), mask)
+				idx[k] = append(idx[k], int32(i))
+			}
+			// Copy-on-write: publish a new outer map so lock-free
+			// readers never observe a map under mutation.
+			next := make(map[uint32]map[string][]int32, len(cur)+1)
+			for m, v := range cur {
+				next[m] = v
+			}
+			next[mask] = idx
+			r.indexes.Store(&next)
 		}
-		r.indexes[mask] = idx
+		r.mu.Unlock()
 	}
-	r.store.Counters.Lookups++
 	out := idx[encodeBound(bound)]
-	r.store.Counters.Retrieved += int64(len(out))
+	r.store.Counters.count(int64(len(out)))
 	return out
 }
 

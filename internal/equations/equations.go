@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"chainlog/internal/analysis"
 	"chainlog/internal/ast"
@@ -49,9 +50,18 @@ type System struct {
 // predicates in right-hand sides, so this is a defensive backstop only.
 const MaxIterations = 10000
 
+// transforms counts Transform calls process-wide; tests assert plan
+// reuse ("compile once, bind many") by checking it stays flat across
+// prepared runs.
+var transforms atomic.Int64
+
+// TransformCount returns the total number of Transform calls so far.
+func TransformCount() int64 { return transforms.Load() }
+
 // Transform runs the Lemma 1 algorithm. The program must be a linear
 // binary-chain program; Transform verifies both properties.
 func Transform(prog *ast.Program) (*System, error) {
+	transforms.Add(1)
 	info := analysis.Analyze(prog)
 	if !info.BinaryChainProgram() {
 		return nil, fmt.Errorf("equations: program is not a binary-chain program")

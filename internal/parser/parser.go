@@ -73,7 +73,19 @@ func Parse(src string, st *symtab.Table) (*Result, error) {
 // ParseQuery parses a query literal such as "sg(john, Y)" with an optional
 // trailing '?' or '.'.
 func ParseQuery(src string, st *symtab.Table) (ast.Query, error) {
-	p := &parser{lex: newLexer(src), st: st}
+	return parseQuery(src, st, false)
+}
+
+// ParseQueryTemplate parses a parameterized query literal in which '?'
+// placeholders stand for bound constants supplied later, e.g.
+// "sg(?, Y)" or "cnx(?, ?, D, AT)". Placeholders parse to hole terms
+// (ast.Term zero value); DB.Prepare binds them per Run call.
+func ParseQueryTemplate(src string, st *symtab.Table) (ast.Query, error) {
+	return parseQuery(src, st, true)
+}
+
+func parseQuery(src string, st *symtab.Table, allowHoles bool) (ast.Query, error) {
+	p := &parser{lex: newLexer(src), st: st, allowHoles: allowHoles}
 	lit, err := p.parseLiteral()
 	if err != nil {
 		return ast.Query{}, err
@@ -271,6 +283,8 @@ type parser struct {
 	tok    token
 	hasTok bool
 	err    error
+	// allowHoles permits '?' placeholder terms (query templates only).
+	allowHoles bool
 }
 
 func (p *parser) peek() token {
@@ -401,6 +415,11 @@ func (p *parser) parseTerm() (ast.Term, error) {
 		return ast.C(p.st.Intern(t.text)), nil
 	case tokString:
 		return ast.C(p.st.Intern(t.text)), nil
+	case tokQuestion:
+		if p.allowHoles {
+			return ast.Hole(), nil
+		}
+		return ast.Term{}, fmt.Errorf("line %d: '?' placeholder is only valid in a prepared-query template", t.line)
 	}
 	return ast.Term{}, fmt.Errorf("line %d: expected term, got %q", t.line, t.text)
 }

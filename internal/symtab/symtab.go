@@ -11,6 +11,7 @@ package symtab
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Sym is an interned symbol. The zero value is reserved and never issued
@@ -22,9 +23,11 @@ type Sym int32
 const None Sym = 0
 
 // Table interns strings and tuples to Syms and resolves them back.
-// A Table is not safe for concurrent mutation; evaluators share one table
-// per engine run.
+// A Table is safe for concurrent use: interning takes a write lock,
+// resolution a read lock, so prepared query plans may intern tuple terms
+// from many goroutines at once.
 type Table struct {
+	mu     sync.RWMutex
 	byName map[string]Sym
 	names  []string // names[i] is the text of Sym(i)
 
@@ -47,10 +50,18 @@ func NewTable() *Table {
 
 // Intern returns the Sym for name, creating it if needed.
 func (t *Table) Intern(name string) Sym {
+	t.mu.RLock()
+	s, ok := t.byName[name]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if s, ok := t.byName[name]; ok {
 		return s
 	}
-	s := Sym(len(t.names))
+	s = Sym(len(t.names))
 	t.byName[name] = s
 	t.names = append(t.names, name)
 	t.elems = append(t.elems, nil)
@@ -59,6 +70,8 @@ func (t *Table) Intern(name string) Sym {
 
 // Lookup returns the Sym for name without creating it.
 func (t *Table) Lookup(name string) (Sym, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	s, ok := t.byName[name]
 	return s, ok
 }
@@ -68,10 +81,18 @@ func (t *Table) Lookup(name string) (Sym, bool) {
 // binds no argument positions).
 func (t *Table) InternTuple(elems []Sym) Sym {
 	key := tupleKey(elems)
+	t.mu.RLock()
+	s, ok := t.byTuple[key]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if s, ok := t.byTuple[key]; ok {
 		return s
 	}
-	s := Sym(len(t.names))
+	s = Sym(len(t.names))
 	t.byTuple[key] = s
 	cp := make([]Sym, len(elems))
 	copy(cp, elems)
@@ -82,11 +103,16 @@ func (t *Table) InternTuple(elems []Sym) Sym {
 
 // IsTuple reports whether s is a tuple term.
 func (t *Table) IsTuple(s Sym) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return int(s) < len(t.elems) && t.elems[s] != nil
 }
 
 // TupleElems returns the elements of a tuple term, or nil if s is not one.
+// The returned slice is immutable once interned and must not be modified.
 func (t *Table) TupleElems(s Sym) []Sym {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if int(s) >= len(t.elems) {
 		return nil
 	}
@@ -98,13 +124,25 @@ func (t *Table) Name(s Sym) string {
 	if s == None {
 		return "∅"
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.name(s)
+}
+
+// name resolves s with t.mu already held (Name recurses into tuple
+// elements; RWMutex read locks must not be re-acquired while a writer
+// waits).
+func (t *Table) name(s Sym) string {
+	if s == None {
+		return "∅"
+	}
 	if int(s) >= len(t.names) {
 		return fmt.Sprintf("?sym%d", int(s))
 	}
 	if e := t.elems[s]; e != nil {
 		parts := make([]string, len(e))
 		for i, x := range e {
-			parts[i] = t.Name(x)
+			parts[i] = t.name(x)
 		}
 		return "t(" + strings.Join(parts, ",") + ")"
 	}
@@ -112,7 +150,11 @@ func (t *Table) Name(s Sym) string {
 }
 
 // Len returns the number of interned symbols including the sentinel.
-func (t *Table) Len() int { return len(t.names) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.names)
+}
 
 func tupleKey(elems []Sym) string {
 	var b strings.Builder

@@ -12,6 +12,8 @@ import (
 // fact per line, relations in insertion order. The output round-trips
 // through LoadProgram.
 func (db *DB) DumpFacts(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	for _, name := range db.store.Relations() {
 		r := db.store.Relation(name)
@@ -38,12 +40,16 @@ func (db *DB) DumpFacts(w io.Writer) error {
 // DumpRules writes the intensional database as Datalog rule text. The
 // output round-trips through LoadProgram (into a fresh DB).
 func (db *DB) DumpRules(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	_, err := io.WriteString(w, db.prog.Render(db.st))
 	return err
 }
 
 // Stats summary for human consumption.
 func (db *DB) String() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return fmt.Sprintf("chainlog.DB{rules: %d, relations: %d, facts: %d}",
 		len(db.prog.Rules), len(db.store.Relations()), db.store.Size())
 }

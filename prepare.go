@@ -1,0 +1,527 @@
+package chainlog
+
+import (
+	"fmt"
+	"sync"
+
+	"chainlog/internal/analysis"
+	"chainlog/internal/ast"
+	"chainlog/internal/binchain"
+	"chainlog/internal/bottomup"
+	"chainlog/internal/chaineval"
+	"chainlog/internal/counting"
+	"chainlog/internal/equations"
+	"chainlog/internal/hn"
+	"chainlog/internal/hunt"
+	"chainlog/internal/magic"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+)
+
+// Prepared is a compiled query plan: the result of parsing, program
+// slicing, Section 2 classification, the Section 4 transformation (when
+// needed), the Lemma 1 equation build and automaton construction for one
+// query template. Those phases run once, in Prepare; Run only executes
+// the demand-driven traversal for a concrete parameter vector.
+//
+// A Prepared is safe for concurrent use: any number of goroutines may
+// Run it simultaneously, each with its own parameters. If the owning DB
+// is mutated (LoadProgram, Assert, SetStore), the plan detects the stale
+// epoch on its next Run and recompiles itself transparently.
+type Prepared struct {
+	db   *DB
+	text string
+	tmpl ast.Query
+	opts Options
+	vars []string
+	// nparams is the number of '?' holes in the template.
+	nparams int
+
+	// mu guards plan/epoch for the transparent-recompile path, and the
+	// compile-time counter deltas below.
+	mu    sync.RWMutex
+	plan  plan
+	epoch uint64
+	// compileFacts/compileLookups record the extensional access plan
+	// compilation itself performed (zero for most routes; the Hunt
+	// preconstruction and the Section 4 transform consult the store).
+	// One-shot Query calls that compile on a cache miss fold these into
+	// the answer's stats, preserving the pre-prepared-API accounting.
+	compileFacts   int64
+	compileLookups int64
+}
+
+// plan is one compiled evaluation route. run executes it for a parameter
+// vector (one value per '?' hole, in order); the caller holds db.mu for
+// reading.
+type plan interface {
+	run(db *DB, args []symtab.Sym) (*Answer, error)
+}
+
+// Prepare compiles a parameterized query once, for many runs. The query
+// is a literal whose bound positions may be '?' placeholders, e.g.
+//
+//	sg, err := db.Prepare("sg(?, Y)", chainlog.Options{})
+//	ans, err := sg.Run("john")
+//	ans, err = sg.Run("ann")
+//
+// Placeholders stand for bound constants ('b' positions of the paper's
+// adornment); variables are the query's free positions. Constants may
+// also be written literally, fixing them into the plan. Run accepts one
+// value per placeholder, in order of appearance.
+func (db *DB) Prepare(query string, opts Options) (*Prepared, error) {
+	q, err := parser.ParseQueryTemplate(query, db.st)
+	if err != nil {
+		return nil, err
+	}
+	p, err := db.prepareQuery(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.text = query
+	return p, nil
+}
+
+// prepareQuery builds the Prepared for an already parsed template.
+func (db *DB) prepareQuery(tmpl ast.Query, opts Options) (*Prepared, error) {
+	p := &Prepared{db: db, tmpl: tmpl, opts: opts, vars: freeVars(tmpl)}
+	for _, a := range tmpl.Args {
+		if a.IsHole() {
+			p.nparams++
+		}
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	before := db.store.CountersSnapshot()
+	pl, err := db.buildPlan(tmpl, opts)
+	if err != nil {
+		return nil, err
+	}
+	after := db.store.CountersSnapshot()
+	p.compileFacts = after.Retrieved - before.Retrieved
+	p.compileLookups = after.Lookups - before.Lookups
+	p.plan, p.epoch = pl, db.epoch
+	return p, nil
+}
+
+// CompileStats reports the extensional tuples and index probes consumed
+// by plan compilation (e.g. the Hunt preconstruction scan), which Run
+// stats deliberately exclude.
+func (p *Prepared) CompileStats() (factsConsulted, lookups int64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.compileFacts, p.compileLookups
+}
+
+// String returns the query template the plan was prepared from.
+func (p *Prepared) String() string {
+	if p.text != "" {
+		return p.text
+	}
+	return p.tmpl.Render(p.db.st)
+}
+
+// Vars names the template's free variables, in order of appearance —
+// the column names of every Run's answer rows.
+func (p *Prepared) Vars() []string { return append([]string(nil), p.vars...) }
+
+// NumParams returns the number of '?' placeholders Run expects.
+func (p *Prepared) NumParams() int { return p.nparams }
+
+// Run executes the prepared plan with one constant name per '?'
+// placeholder. It is safe to call from many goroutines concurrently.
+func (p *Prepared) Run(args ...string) (*Answer, error) {
+	syms := make([]symtab.Sym, len(args))
+	for i, a := range args {
+		syms[i] = p.db.st.Intern(a)
+	}
+	return p.RunSyms(syms...)
+}
+
+// RunSyms is Run for pre-interned symbols, avoiding the name lookups on
+// hot paths.
+func (p *Prepared) RunSyms(args ...symtab.Sym) (*Answer, error) {
+	if len(args) != p.nparams {
+		return nil, fmt.Errorf("chainlog: prepared query %s expects %d parameters, got %d", p, p.nparams, len(args))
+	}
+	db := p.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pl, err := p.planLocked()
+	if err != nil {
+		return nil, err
+	}
+	before := db.store.CountersSnapshot()
+	ans, err := pl.run(db, args)
+	if err != nil {
+		return nil, err
+	}
+	after := db.store.CountersSnapshot()
+	ans.Stats.FactsConsulted = after.Retrieved - before.Retrieved
+	ans.Stats.Lookups = after.Lookups - before.Lookups
+	ans.Stats.Strategy = p.opts.Strategy
+	ans.Vars = append([]string(nil), p.vars...)
+	if len(ans.Vars) == 0 {
+		ans.True = len(ans.Rows) > 0
+		ans.Rows = nil
+	}
+	sortRows(ans.Rows)
+	return ans, nil
+}
+
+// planLocked returns the current plan, transparently recompiling it when
+// the DB's epoch moved past the plan's. The caller holds db.mu for
+// reading, so db.epoch is stable for the duration.
+func (p *Prepared) planLocked() (plan, error) {
+	p.mu.RLock()
+	pl, ep := p.plan, p.epoch
+	p.mu.RUnlock()
+	if ep == p.db.epoch {
+		return pl, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.epoch == p.db.epoch {
+		return p.plan, nil
+	}
+	before := p.db.store.CountersSnapshot()
+	pl, err := p.db.buildPlan(p.tmpl, p.opts)
+	if err != nil {
+		return nil, err
+	}
+	after := p.db.store.CountersSnapshot()
+	p.compileFacts = after.Retrieved - before.Retrieved
+	p.compileLookups = after.Lookups - before.Lookups
+	p.plan, p.epoch = pl, p.db.epoch
+	return pl, nil
+}
+
+// buildPlan compiles the evaluation route for a template under the given
+// options. The caller must hold db.mu (shared suffices).
+func (db *DB) buildPlan(tmpl ast.Query, opts Options) (plan, error) {
+	info := db.analysisLocked()
+	// Base-predicate queries are plain index lookups.
+	if !info.Derived[tmpl.Pred] {
+		return &basePlan{tmpl: tmpl}, nil
+	}
+	switch opts.Strategy {
+	case Chain:
+		return db.buildChainPlan(tmpl, opts)
+	case Naive:
+		return &bottomUpPlan{tmpl: tmpl, naive: true}, nil
+	case Seminaive:
+		return &bottomUpPlan{tmpl: tmpl}, nil
+	case Magic:
+		return &magicPlan{tmpl: tmpl}, nil
+	case Counting, ReverseCounting, HenschenNaqvi:
+		return db.buildLinearPlan(tmpl, opts)
+	case Hunt:
+		return db.buildHuntPlan(tmpl)
+	}
+	return nil, fmt.Errorf("chainlog: unhandled strategy %v", opts.Strategy)
+}
+
+// buildChainPlan compiles the paper's route: direct binary-chain
+// evaluation when possible, the Section 4 transformation otherwise, with
+// the documented magic-sets fallback for non-chain binding patterns.
+func (db *DB) buildChainPlan(tmpl ast.Query, opts Options) (plan, error) {
+	sub := db.relevantProgram(tmpl.Pred)
+	adorned := tmpl.Adornment()
+	direct := analysis.Analyze(sub).BinaryChainProgram() && !opts.ForceSection4 &&
+		(adorned == "bf" || adorned == "fb" || adorned == "ff")
+	if direct {
+		sys, err := equations.Transform(sub)
+		if err != nil {
+			return nil, err
+		}
+		eng := chaineval.New(sys, chaineval.StoreSource{Store: db.store}, db.engineOpts(opts))
+		pl := &directPlan{pred: tmpl.Pred, mode: adorned, eng: eng}
+		switch adorned {
+		case "bf":
+			pl.bound = tmpl.Args[0]
+			eng.Precompile(tmpl.Pred)
+		case "fb":
+			pl.bound = tmpl.Args[1]
+			eng.PrecompileInverse(tmpl.Pred)
+		case "ff":
+			pl.diagonal = tmpl.Args[0].Var == tmpl.Args[1].Var
+			eng.Precompile(tmpl.Pred)
+		}
+		return pl, nil
+	}
+
+	// Section 4: n-ary → binary-chain over tuple terms. The
+	// transformation depends only on the binding pattern, so it is built
+	// once here and rebound per run.
+	tr, err := binchain.Transform(db.prog, tmpl, db.store, false)
+	if err != nil {
+		if opts.Strict {
+			return nil, err
+		}
+		// Binding pattern outside the chain class: fall back to magic
+		// sets (still binding-directed) per run, and to seminaive when
+		// magic cannot handle the program either.
+		return &chainFallbackPlan{tmpl: tmpl}, nil
+	}
+	sys, err := equations.Transform(tr.Program)
+	if err != nil {
+		return nil, err
+	}
+	eng := chaineval.New(sys, tr.Source, db.engineOpts(opts))
+	eng.Precompile(tr.QueryPred)
+	pl := &section4Plan{tr: tr, eng: eng}
+	for _, a := range tmpl.Args {
+		if a.IsVar() {
+			continue
+		}
+		if a.IsHole() {
+			pl.holePos = append(pl.holePos, len(pl.boundTmpl))
+			pl.boundTmpl = append(pl.boundTmpl, symtab.None)
+		} else {
+			pl.boundTmpl = append(pl.boundTmpl, a.Const)
+		}
+	}
+	return pl, nil
+}
+
+// buildLinearPlan compiles the counting / reverse-counting /
+// Henschen–Naqvi specializations: a binary-chain program whose query
+// equation has the shape p = e0 ∪ e1·p·e2 and a bf query.
+func (db *DB) buildLinearPlan(tmpl ast.Query, opts Options) (plan, error) {
+	if tmpl.Adornment() != "bf" {
+		return nil, fmt.Errorf("chainlog: strategy %v supports only p(a, Y) queries", opts.Strategy)
+	}
+	sys, err := equations.Transform(db.relevantProgram(tmpl.Pred))
+	if err != nil {
+		return nil, err
+	}
+	shape, ok := sys.LinearDecompose(tmpl.Pred)
+	if !ok {
+		return nil, fmt.Errorf("chainlog: equation for %s is not of the shape e0 U e1.%s.e2", tmpl.Pred, tmpl.Pred)
+	}
+	return &linearPlan{strategy: opts.Strategy, bound: tmpl.Args[0], shape: shape, maxLevels: opts.MaxIterations}, nil
+}
+
+// buildHuntPlan compiles the Hunt-Szymanski-Ullman baseline. The
+// preconstructed graph G(p) is the plan: building it is the strategy's
+// whole up-front cost, and each Run is a reachability search.
+func (db *DB) buildHuntPlan(tmpl ast.Query) (plan, error) {
+	if tmpl.Adornment() != "bf" {
+		return nil, fmt.Errorf("chainlog: hunt strategy supports only p(a, Y) queries")
+	}
+	sys, err := equations.Transform(db.relevantProgram(tmpl.Pred))
+	if err != nil {
+		return nil, err
+	}
+	if !sys.IsRegularFor(tmpl.Pred) {
+		return nil, fmt.Errorf("chainlog: hunt strategy requires a regular equation for %s", tmpl.Pred)
+	}
+	eq, _ := sys.EquationFor(tmpl.Pred)
+	return &huntPlan{bound: tmpl.Args[0], g: hunt.Build(eq, db.store)}, nil
+}
+
+// bindOne resolves a bound-position term: a literal constant fixed at
+// Prepare time, or the run's (single) parameter.
+func bindOne(t ast.Term, args []symtab.Sym) symtab.Sym {
+	if t.IsHole() {
+		return args[0]
+	}
+	return t.Const
+}
+
+// basePlan answers extensional-predicate queries by index lookup.
+type basePlan struct{ tmpl ast.Query }
+
+func (pl *basePlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+	return db.baseQuery(substituteArgs(pl.tmpl, args))
+}
+
+// directPlan is the paper's algorithm over a precompiled engine: a
+// binary-chain query evaluated by graph traversal, with the bound
+// constant injected at run time.
+type directPlan struct {
+	pred     string
+	mode     string // adornment: bf, fb or ff
+	bound    ast.Term
+	diagonal bool // ff with a repeated variable: p(X, X)
+	eng      *chaineval.Engine
+}
+
+func (pl *directPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+	switch pl.mode {
+	case "bf":
+		res, err := pl.eng.Query(pl.pred, bindOne(pl.bound, args))
+		if err != nil {
+			return nil, err
+		}
+		return db.symsAnswer(res.Answers, chainStats(res)), nil
+	case "fb":
+		res, err := pl.eng.QueryInverse(pl.pred, bindOne(pl.bound, args))
+		if err != nil {
+			return nil, err
+		}
+		return db.symsAnswer(res.Answers, chainStats(res)), nil
+	case "ff":
+		pairs, res, err := pl.eng.QueryAll(pl.pred, db.activeDomainLocked())
+		if err != nil {
+			return nil, err
+		}
+		st := chainStats(res)
+		// p(X, X) projects the diagonal.
+		if pl.diagonal {
+			var rows [][]string
+			for _, p := range pairs {
+				if p[0] == p[1] {
+					rows = append(rows, []string{db.st.Name(p[0])})
+				}
+			}
+			return db.rowsStrAnswer(rows, st), nil
+		}
+		rows := make([][]string, 0, len(pairs))
+		for _, p := range pairs {
+			rows = append(rows, []string{db.st.Name(p[0]), db.st.Name(p[1])})
+		}
+		return db.rowsStrAnswer(rows, st), nil
+	}
+	return nil, fmt.Errorf("chainlog: unsupported direct adornment %s", pl.mode)
+}
+
+// section4Plan evaluates via the n-ary → binary-chain transformation,
+// rebinding the t(c̄) start term per run.
+type section4Plan struct {
+	tr  *binchain.Transformed
+	eng *chaineval.Engine
+	// boundTmpl holds the bound-position values in query-literal order,
+	// symtab.None at '?' holes; holePos maps successive run parameters to
+	// their positions in boundTmpl.
+	boundTmpl []symtab.Sym
+	holePos   []int
+}
+
+func (pl *section4Plan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+	bound := make([]symtab.Sym, len(pl.boundTmpl))
+	copy(bound, pl.boundTmpl)
+	for k, i := range pl.holePos {
+		bound[i] = args[k]
+	}
+	start, err := pl.tr.Bind(bound)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pl.eng.Query(pl.tr.QueryPred, start)
+	if err != nil {
+		return nil, err
+	}
+	rows := pl.tr.DecodeAnswers(res.Answers)
+	return db.rowsAnswer(dedupeRows(rowsWithRepeatsCollapsed(rows, pl.tr.FreeVars)), chainStats(res)), nil
+}
+
+// chainFallbackPlan handles Chain-strategy queries whose binding pattern
+// fails the chain-program condition: magic sets per run, seminaive when
+// magic cannot handle the program either.
+type chainFallbackPlan struct{ tmpl ast.Query }
+
+func (pl *chainFallbackPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+	q := substituteArgs(pl.tmpl, args)
+	rows, stats, err := magic.Evaluate(db.prog, q, db.store)
+	if err != nil {
+		// Last resort: the completely general bottom-up method.
+		return (&bottomUpPlan{tmpl: pl.tmpl}).run(db, args)
+	}
+	return db.rowsAnswer(rows, Stats{
+		Iterations: stats.Iterations,
+		Nodes:      int(stats.Derived),
+		Firings:    stats.Firings,
+		Converged:  true,
+	}), nil
+}
+
+// bottomUpPlan runs naive or seminaive bottom-up evaluation. The
+// fixpoint is recomputed per run — measuring that full-evaluation cost
+// is what the bottom-up baselines exist for.
+type bottomUpPlan struct {
+	tmpl  ast.Query
+	naive bool
+}
+
+func (pl *bottomUpPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+	run := bottomup.Seminaive
+	if pl.naive {
+		run = bottomup.Naive
+	}
+	store, stats, err := run(db.prog, db.store)
+	if err != nil {
+		return nil, err
+	}
+	rows := bottomup.Answer(store, substituteArgs(pl.tmpl, args))
+	return db.rowsAnswer(rows, Stats{
+		Iterations: stats.Iterations,
+		Nodes:      int(stats.Derived),
+		Firings:    stats.Firings,
+		Converged:  true,
+	}), nil
+}
+
+// magicPlan runs the magic-sets rewriting per run; the rewriting is
+// seeded by the query's constants, so it cannot be shared across
+// parameter vectors.
+type magicPlan struct{ tmpl ast.Query }
+
+func (pl *magicPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+	rows, stats, err := magic.Evaluate(db.prog, substituteArgs(pl.tmpl, args), db.store)
+	if err != nil {
+		return nil, err
+	}
+	return db.rowsAnswer(rows, Stats{
+		Iterations: stats.Iterations,
+		Nodes:      int(stats.Derived),
+		Firings:    stats.Firings,
+		Converged:  true,
+	}), nil
+}
+
+// linearPlan runs the counting / reverse-counting / Henschen–Naqvi
+// specializations over a pre-decomposed p = e0 ∪ e1·p·e2 shape.
+type linearPlan struct {
+	strategy  Strategy
+	bound     ast.Term
+	shape     equations.LinearShape
+	maxLevels int
+}
+
+func (pl *linearPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+	src := chaineval.StoreSource{Store: db.store}
+	a := bindOne(pl.bound, args)
+	var answers []symtab.Sym
+	var st Stats
+	switch pl.strategy {
+	case Counting:
+		res, cs := counting.Evaluate(pl.shape, src, a, pl.maxLevels)
+		answers = res
+		st = Stats{Iterations: cs.Levels, Nodes: cs.UpSize + cs.FlatSize + cs.DownSize, Converged: true}
+	case ReverseCounting:
+		res, cs := counting.EvaluateReverse(pl.shape, src, a, pl.maxLevels)
+		answers = res
+		st = Stats{Iterations: cs.Levels, Nodes: cs.UpSize + cs.FlatSize + cs.DownSize, Converged: true}
+	case HenschenNaqvi:
+		res, hs := hn.Evaluate(pl.shape, src, a, pl.maxLevels)
+		answers = res
+		st = Stats{Iterations: hs.Iterations, Nodes: hs.TermsTouched, Converged: true}
+	}
+	return db.symsAnswer(answers, st), nil
+}
+
+// huntPlan answers over the preconstructed Hunt-Szymanski-Ullman graph.
+type huntPlan struct {
+	bound ast.Term
+	g     *hunt.Graph
+}
+
+func (pl *huntPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+	answers, visited := pl.g.Query(bindOne(pl.bound, args))
+	return db.symsAnswer(answers, Stats{
+		Iterations: 1,
+		Nodes:      visited,
+		Converged:  true,
+	}), nil
+}

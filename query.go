@@ -6,16 +6,9 @@ import (
 	"sort"
 	"strings"
 
-	"chainlog/internal/analysis"
 	"chainlog/internal/ast"
-	"chainlog/internal/binchain"
 	"chainlog/internal/bottomup"
 	"chainlog/internal/chaineval"
-	"chainlog/internal/counting"
-	"chainlog/internal/equations"
-	"chainlog/internal/hn"
-	"chainlog/internal/hunt"
-	"chainlog/internal/magic"
 	"chainlog/internal/parser"
 	"chainlog/internal/symtab"
 )
@@ -70,6 +63,11 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
 
+// Strategies lists every selectable strategy, in declaration order.
+func Strategies() []Strategy {
+	return []Strategy{Chain, Naive, Seminaive, Magic, Counting, ReverseCounting, HenschenNaqvi, Hunt}
+}
+
 // ParseStrategy resolves a strategy name as used by the CLI.
 func ParseStrategy(name string) (Strategy, error) {
 	switch strings.ToLower(name) {
@@ -114,6 +112,8 @@ type Options struct {
 	Strict bool
 	// Trace, when non-nil, receives a line-per-event log of the chain
 	// engine's evaluation (iterations, graph nodes, expansions, answers).
+	// Plans carrying a tracer bypass the DB plan cache, and concurrent
+	// runs of one traced Prepared interleave their writes.
 	Trace io.Writer
 	// TraceMaxNodes truncates the per-node trace output (0 = unlimited).
 	TraceMaxNodes int
@@ -125,6 +125,16 @@ func (db *DB) tracer(opts Options) chaineval.Tracer {
 		return nil
 	}
 	return &chaineval.WriterTracer{W: opts.Trace, St: db.st, MaxNodes: opts.TraceMaxNodes}
+}
+
+// engineOpts maps public Options onto the chain engine's options.
+func (db *DB) engineOpts(opts Options) chaineval.Options {
+	return chaineval.Options{
+		MaxIterations:      opts.MaxIterations,
+		DisableCyclicGuard: opts.DisableCyclicGuard,
+		MaxNodes:           opts.MaxNodes,
+		Tracer:             db.tracer(opts),
+	}
 }
 
 // Stats describes the work one query performed, in the units the paper's
@@ -140,6 +150,12 @@ type Stats struct {
 	// Expansions counts EM(p,i) derived-transition expansions (Chain).
 	Expansions int
 	// FactsConsulted is the number of extensional tuples retrieved.
+	// Prepared.Run reports only the run's own retrievals — store access
+	// performed by plan compilation (e.g. the Hunt preconstruction) is
+	// reported by Prepared.CompileStats instead, though one-shot Query
+	// calls that compile on a plan-cache miss fold it in. Under
+	// concurrent runs the counter deltas of overlapping queries
+	// interleave; treat per-query values as approximate in that case.
 	FactsConsulted int64
 	// Lookups is the number of extensional index probes.
 	Lookups int64
@@ -164,7 +180,10 @@ type Answer struct {
 	Stats Stats
 }
 
-// Query parses and evaluates a query with default options.
+// Query parses and evaluates a query with default options. It is a thin
+// wrapper over the prepared-plan layer: the query's constants become plan
+// parameters, so repeated queries of the same shape hit the plan cache
+// and skip recompilation.
 func (db *DB) Query(query string) (*Answer, error) {
 	return db.QueryOpts(query, Options{})
 }
@@ -178,61 +197,94 @@ func (db *DB) QueryOpts(query string, opts Options) (*Answer, error) {
 	return db.Evaluate(q, opts)
 }
 
-// Evaluate runs an already parsed query.
+// Evaluate runs an already parsed query through the plan cache: the
+// query is split into a template (constants replaced by '?' holes) and a
+// parameter vector, the template's compiled plan is fetched or built, and
+// the plan runs with the parameters.
 func (db *DB) Evaluate(q ast.Query, opts Options) (*Answer, error) {
-	before := db.store.Counters
-	ans, err := db.dispatch(q, opts)
+	if q.IsBuiltin() {
+		return nil, fmt.Errorf("chainlog: query must be an ordinary literal")
+	}
+	tmpl, args := templateize(q)
+	var p *Prepared
+	var built bool
+	var err error
+	if opts.Trace != nil {
+		// Tracing plans carry a caller-specific writer; never cache them.
+		p, err = db.prepareQuery(tmpl, opts)
+		built = p != nil
+	} else {
+		p, built, err = db.cachedPrepared(tmpl, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	after := db.store.Counters
-	ans.Stats.FactsConsulted = after.Retrieved - before.Retrieved
-	ans.Stats.Lookups = after.Lookups - before.Lookups
-	ans.Stats.Strategy = opts.Strategy
-	ans.Vars = freeVars(q)
-	if len(ans.Vars) == 0 {
-		ans.True = len(ans.Rows) > 0
-		ans.Rows = nil
+	ans, err := p.RunSyms(args...)
+	if err != nil {
+		return nil, err
 	}
-	sortRows(ans.Rows)
+	if built {
+		// One-shot queries that compiled on this call charge the
+		// compilation's store access (e.g. the Hunt preconstruction
+		// scan) to this answer, matching the pre-plan-cache accounting.
+		facts, lookups := p.CompileStats()
+		ans.Stats.FactsConsulted += facts
+		ans.Stats.Lookups += lookups
+	}
+	// The plan reports the template's canonical variable names; restore
+	// the caller's.
+	ans.Vars = freeVars(q)
 	return ans, nil
 }
 
-func (db *DB) dispatch(q ast.Query, opts Options) (*Answer, error) {
-	info := db.Analysis()
-	// Base-predicate queries are plain index lookups.
-	if !info.Derived[q.Pred] {
-		return db.baseQuery(q)
-	}
-	switch opts.Strategy {
-	case Chain:
-		return db.chainQuery(q, opts)
-	case Naive, Seminaive:
-		return db.bottomUpQuery(q, opts)
-	case Magic:
-		rows, stats, err := magic.Evaluate(db.prog, q, db.store)
-		if err != nil {
-			return nil, err
+// templateize canonicalizes a concrete query into a prepared-query
+// template plus its parameter vector: constants become '?' holes (their
+// values the parameters) and variables are renamed by first occurrence,
+// so sg(john, Y) and sg(ann, Z) share one plan.
+func templateize(q ast.Query) (ast.Query, []symtab.Sym) {
+	lit := ast.Literal{Pred: q.Pred, Op: q.Op, Args: make([]ast.Term, len(q.Args))}
+	var args []symtab.Sym
+	names := make(map[string]string)
+	for i, a := range q.Args {
+		switch {
+		case a.IsVar():
+			nm, ok := names[a.Var]
+			if !ok {
+				nm = fmt.Sprintf("V%d", len(names))
+				names[a.Var] = nm
+			}
+			lit.Args[i] = ast.V(nm)
+		case a.IsHole():
+			lit.Args[i] = a
+		default:
+			lit.Args[i] = ast.Hole()
+			args = append(args, a.Const)
 		}
-		return db.rowsAnswer(rows, Stats{
-			Iterations: stats.Iterations,
-			Nodes:      int(stats.Derived),
-			Firings:    stats.Firings,
-			Converged:  true,
-		}), nil
-	case Counting, ReverseCounting, HenschenNaqvi:
-		return db.linearShapeQuery(q, opts)
-	case Hunt:
-		return db.huntQuery(q)
 	}
-	return nil, fmt.Errorf("chainlog: unhandled strategy %v", opts.Strategy)
+	return ast.Query{Literal: lit}, args
+}
+
+// substituteArgs instantiates a template's holes with the given parameter
+// values, in hole order.
+func substituteArgs(tmpl ast.Query, args []symtab.Sym) ast.Query {
+	lit := ast.Literal{Pred: tmpl.Pred, Op: tmpl.Op, Args: make([]ast.Term, len(tmpl.Args))}
+	k := 0
+	for i, a := range tmpl.Args {
+		if a.IsHole() {
+			lit.Args[i] = ast.C(args[k])
+			k++
+		} else {
+			lit.Args[i] = a
+		}
+	}
+	return ast.Query{Literal: lit}
 }
 
 // relevantProgram slices the program down to the rules for predicates
 // reachable from the query predicate in the dependency graph. A database
 // can hold unrelated rule sets (e.g. a non-chain view next to a chain
 // program); classification and compilation consider only the reachable
-// slice.
+// slice. The caller must hold db.mu.
 func (db *DB) relevantProgram(pred string) *ast.Program {
 	reach := map[string]bool{pred: true}
 	stack := []string{pred}
@@ -255,185 +307,6 @@ func (db *DB) relevantProgram(pred string) *ast.Program {
 		}
 	}
 	return out
-}
-
-// chainQuery routes a Chain-strategy query: direct binary-chain
-// evaluation when possible, Section 4 transformation otherwise.
-func (db *DB) chainQuery(q ast.Query, opts Options) (*Answer, error) {
-	sub := db.relevantProgram(q.Pred)
-	adorned := q.Adornment()
-	direct := analysis.Analyze(sub).BinaryChainProgram() && !opts.ForceSection4 &&
-		(adorned == "bf" || adorned == "fb" || adorned == "ff")
-	if direct {
-		return db.directChain(q, opts)
-	}
-	return db.section4Chain(q, opts)
-}
-
-func (db *DB) directChain(q ast.Query, opts Options) (*Answer, error) {
-	sys, err := equations.Transform(db.relevantProgram(q.Pred))
-	if err != nil {
-		return nil, err
-	}
-	eng := chaineval.New(sys, chaineval.StoreSource{Store: db.store}, chaineval.Options{
-		MaxIterations:      opts.MaxIterations,
-		DisableCyclicGuard: opts.DisableCyclicGuard,
-		MaxNodes:           opts.MaxNodes,
-		Tracer:             db.tracer(opts),
-	})
-	switch q.Adornment() {
-	case "bf":
-		res, err := eng.Query(q.Pred, q.Args[0].Const)
-		if err != nil {
-			return nil, err
-		}
-		return db.symsAnswer(res.Answers, chainStats(res)), nil
-	case "fb":
-		res, err := eng.QueryInverse(q.Pred, q.Args[1].Const)
-		if err != nil {
-			return nil, err
-		}
-		return db.symsAnswer(res.Answers, chainStats(res)), nil
-	case "ff":
-		pairs, res, err := eng.QueryAll(q.Pred, db.ActiveDomain())
-		if err != nil {
-			return nil, err
-		}
-		st := chainStats(res)
-		// p(X, X) projects the diagonal.
-		if q.Args[0].Var == q.Args[1].Var {
-			var rows [][]string
-			for _, p := range pairs {
-				if p[0] == p[1] {
-					rows = append(rows, []string{db.st.Name(p[0])})
-				}
-			}
-			return db.rowsStrAnswer(rows, st), nil
-		}
-		rows := make([][]string, 0, len(pairs))
-		for _, p := range pairs {
-			rows = append(rows, []string{db.st.Name(p[0]), db.st.Name(p[1])})
-		}
-		return db.rowsStrAnswer(rows, st), nil
-	}
-	return nil, fmt.Errorf("chainlog: unsupported direct adornment %s", q.Adornment())
-}
-
-// section4Chain evaluates via the n-ary → binary-chain transformation.
-// Queries whose binding pattern violates the chain-program condition (the
-// class the paper's method covers) fall back to magic sets — still
-// binding-directed, applicable to any linear program — unless
-// opts.Strict is set.
-func (db *DB) section4Chain(q ast.Query, opts Options) (*Answer, error) {
-	tr, err := binchain.Transform(db.prog, q, db.store, false)
-	if err != nil {
-		if opts.Strict {
-			return nil, err
-		}
-		rows, stats, merr := magic.Evaluate(db.prog, q, db.store)
-		if merr != nil {
-			// Last resort: the completely general bottom-up method.
-			return db.bottomUpQuery(q, Options{Strategy: Seminaive})
-		}
-		return db.rowsAnswer(rows, Stats{
-			Iterations: stats.Iterations,
-			Nodes:      int(stats.Derived),
-			Firings:    stats.Firings,
-			Converged:  true,
-		}), nil
-	}
-	sys, err := equations.Transform(tr.Program)
-	if err != nil {
-		return nil, err
-	}
-	eng := chaineval.New(sys, tr.Source, chaineval.Options{
-		MaxIterations:      opts.MaxIterations,
-		DisableCyclicGuard: opts.DisableCyclicGuard,
-		MaxNodes:           opts.MaxNodes,
-		Tracer:             db.tracer(opts),
-	})
-	res, err := eng.Query(tr.QueryPred, tr.BoundArg)
-	if err != nil {
-		return nil, err
-	}
-	rows := tr.DecodeAnswers(res.Answers)
-	return db.rowsAnswer(dedupeRows(rowsWithRepeatsCollapsed(rows, tr.FreeVars)), chainStats(res)), nil
-}
-
-func (db *DB) bottomUpQuery(q ast.Query, opts Options) (*Answer, error) {
-	run := bottomup.Seminaive
-	if opts.Strategy == Naive {
-		run = bottomup.Naive
-	}
-	store, stats, err := run(db.prog, db.store)
-	if err != nil {
-		return nil, err
-	}
-	rows := bottomup.Answer(store, q)
-	return db.rowsAnswer(rows, Stats{
-		Iterations: stats.Iterations,
-		Nodes:      int(stats.Derived),
-		Firings:    stats.Firings,
-		Converged:  true,
-	}), nil
-}
-
-// linearShapeQuery runs the counting / reverse-counting / Henschen–Naqvi
-// specializations. They require a binary-chain program whose query
-// equation has the shape p = e0 ∪ e1·p·e2 and a bf query.
-func (db *DB) linearShapeQuery(q ast.Query, opts Options) (*Answer, error) {
-	if q.Adornment() != "bf" {
-		return nil, fmt.Errorf("chainlog: strategy %v supports only p(a, Y) queries", opts.Strategy)
-	}
-	sys, err := equations.Transform(db.relevantProgram(q.Pred))
-	if err != nil {
-		return nil, err
-	}
-	shape, ok := sys.LinearDecompose(q.Pred)
-	if !ok {
-		return nil, fmt.Errorf("chainlog: equation for %s is not of the shape e0 U e1.%s.e2", q.Pred, q.Pred)
-	}
-	src := chaineval.StoreSource{Store: db.store}
-	maxLevels := opts.MaxIterations
-	a := q.Args[0].Const
-	var answers []symtab.Sym
-	var st Stats
-	switch opts.Strategy {
-	case Counting:
-		res, cs := counting.Evaluate(shape, src, a, maxLevels)
-		answers = res
-		st = Stats{Iterations: cs.Levels, Nodes: cs.UpSize + cs.FlatSize + cs.DownSize, Converged: true}
-	case ReverseCounting:
-		res, cs := counting.EvaluateReverse(shape, src, a, maxLevels)
-		answers = res
-		st = Stats{Iterations: cs.Levels, Nodes: cs.UpSize + cs.FlatSize + cs.DownSize, Converged: true}
-	case HenschenNaqvi:
-		res, hs := hn.Evaluate(shape, src, a, maxLevels)
-		answers = res
-		st = Stats{Iterations: hs.Iterations, Nodes: hs.TermsTouched, Converged: true}
-	}
-	return db.symsAnswer(answers, st), nil
-}
-
-func (db *DB) huntQuery(q ast.Query) (*Answer, error) {
-	if q.Adornment() != "bf" {
-		return nil, fmt.Errorf("chainlog: hunt strategy supports only p(a, Y) queries")
-	}
-	sys, err := equations.Transform(db.relevantProgram(q.Pred))
-	if err != nil {
-		return nil, err
-	}
-	if !sys.IsRegularFor(q.Pred) {
-		return nil, fmt.Errorf("chainlog: hunt strategy requires a regular equation for %s", q.Pred)
-	}
-	eq, _ := sys.EquationFor(q.Pred)
-	g := hunt.Build(eq, db.store)
-	answers, visited := g.Query(q.Args[0].Const)
-	return db.symsAnswer(answers, Stats{
-		Iterations: 1,
-		Nodes:      visited,
-		Converged:  true,
-	}), nil
 }
 
 // baseQuery answers a query over an extensional predicate directly.
@@ -518,13 +391,21 @@ func rowsWithRepeatsCollapsed(rows [][]symtab.Sym, vars []string) [][]symtab.Sym
 	return out
 }
 
+// dedupeRows removes duplicate rows. Keys are the rows' syms packed into
+// a byte string — cheap and exact, unlike formatting the row.
 func dedupeRows(rows [][]symtab.Sym) [][]symtab.Sym {
-	seen := map[string]bool{}
+	seen := make(map[string]bool, len(rows))
+	var key []byte
 	out := rows[:0]
 	for _, r := range rows {
-		key := fmt.Sprint(r)
-		if !seen[key] {
-			seen[key] = true
+		key = key[:0]
+		for _, s := range r {
+			v := uint32(s)
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := string(key)
+		if !seen[k] {
+			seen[k] = true
 			out = append(out, r)
 		}
 	}
