@@ -81,7 +81,7 @@ func BenchmarkTable1(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(sb.w.Store.Counters.Retrieved)/float64(b.N), "tuples/op")
+			b.ReportMetric(float64(sb.w.Store.Counters.Snapshot().Retrieved)/float64(b.N), "tuples/op")
 		})
 		b.Run(s.name+"/henschen-naqvi", func(b *testing.B) {
 			sb := newSGBench(b, s.gen, n)
@@ -91,7 +91,7 @@ func BenchmarkTable1(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				hn.Evaluate(sb.shape, src, sb.w.Query, 0)
 			}
-			b.ReportMetric(float64(sb.w.Store.Counters.Retrieved)/float64(b.N), "tuples/op")
+			b.ReportMetric(float64(sb.w.Store.Counters.Snapshot().Retrieved)/float64(b.N), "tuples/op")
 		})
 		b.Run(s.name+"/counting", func(b *testing.B) {
 			sb := newSGBench(b, s.gen, n)
@@ -101,7 +101,7 @@ func BenchmarkTable1(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				counting.Evaluate(sb.shape, src, sb.w.Query, 0)
 			}
-			b.ReportMetric(float64(sb.w.Store.Counters.Retrieved)/float64(b.N), "tuples/op")
+			b.ReportMetric(float64(sb.w.Store.Counters.Snapshot().Retrieved)/float64(b.N), "tuples/op")
 		})
 		b.Run(s.name+"/magic", func(b *testing.B) {
 			sb := newSGBench(b, s.gen, n)
@@ -114,7 +114,7 @@ func BenchmarkTable1(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(sb.w.Store.Counters.Retrieved)/float64(b.N), "tuples/op")
+			b.ReportMetric(float64(sb.w.Store.Counters.Snapshot().Retrieved)/float64(b.N), "tuples/op")
 		})
 	}
 }
@@ -354,6 +354,28 @@ func BenchmarkPrepared(b *testing.B) {
 				b.Fatal(err)
 			}
 			if _, err := p.Run(names[i%len(names)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The zero-allocation streaming warm path: same plan and constants
+	// as direct/prepared, answers delivered to a callback instead of a
+	// materialized Answer.
+	b.Run("direct/stream", func(b *testing.B) {
+		db, names := newSGDB(b)
+		p, err := db.Prepare("sg(?, Y)", Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		syms := make([]symtab.Sym, len(names))
+		for i, n := range names {
+			syms[i] = db.SymTab().Intern(n)
+		}
+		n := 0
+		yield := func([]symtab.Sym) { n++ }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := p.RunSymsFunc(yield, syms[i%len(syms)]); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -59,7 +59,7 @@ package chainlog
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"chainlog/internal/analysis"
@@ -163,6 +163,11 @@ func (db *DB) AssertSyms(pred string, args ...symtab.Sym) {
 	db.store.Insert(pred, args...)
 	db.bumpEpoch()
 }
+
+// Sym is an interned constant symbol — an alias of the internal dense
+// symbol type, exported so callers outside this module can name it in
+// RunSymsFunc callbacks and pre-interned argument slices.
+type Sym = symtab.Sym
 
 // Intern returns the interned symbol for a constant name.
 func (db *DB) Intern(name string) symtab.Sym { return db.st.Intern(name) }
@@ -293,7 +298,7 @@ func (db *DB) activeDomainLocked() []symtab.Sym {
 	for s := range set {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	db.domain = out
 	db.domainEpoch = db.epoch
 	return out

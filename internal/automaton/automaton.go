@@ -60,12 +60,22 @@ type Trans struct {
 	removed bool
 }
 
+// edge is the flat per-state copy of a transition. Out iterates these
+// directly — one contiguous slice per state, no per-ID indirection into
+// the trans table. The removed flag is mirrored by Remove.
+type edge struct {
+	id      int32
+	to      int32
+	label   Label
+	removed bool
+}
+
 // NFA is a mutable nondeterministic finite automaton with a single start
 // and a single final state.
 type NFA struct {
 	Start, Final int
-	trans        []Trans
-	out          [][]int // state -> transition IDs
+	trans        []Trans  // transition records by stable ID
+	out          [][]edge // state -> outgoing transitions, stored flat
 }
 
 // NumStates returns the number of states.
@@ -82,9 +92,16 @@ func (m *NFA) NumTrans() int {
 	return n
 }
 
-// addState appends a fresh state.
+// addState appends a fresh state, reusing spare edge-buffer capacity
+// left behind by CloneInto so EM expansion on a pooled automaton stays
+// allocation-light.
 func (m *NFA) addState() int {
-	m.out = append(m.out, nil)
+	if len(m.out) < cap(m.out) {
+		m.out = m.out[:len(m.out)+1]
+		m.out[len(m.out)-1] = m.out[len(m.out)-1][:0]
+	} else {
+		m.out = append(m.out, nil)
+	}
 	return len(m.out) - 1
 }
 
@@ -92,13 +109,22 @@ func (m *NFA) addState() int {
 func (m *NFA) AddTrans(from int, label Label, to int) int {
 	id := len(m.trans)
 	m.trans = append(m.trans, Trans{From: from, Label: label, To: to})
-	m.out[from] = append(m.out[from], id)
+	m.out[from] = append(m.out[from], edge{id: int32(id), to: int32(to), label: label})
 	return id
 }
 
 // Remove deletes a transition by ID (IDs of other transitions are
 // unaffected).
-func (m *NFA) Remove(id int) { m.trans[id].removed = true }
+func (m *NFA) Remove(id int) {
+	m.trans[id].removed = true
+	es := m.out[m.trans[id].From]
+	for i := range es {
+		if es[i].id == int32(id) {
+			es[i].removed = true
+			return
+		}
+	}
+}
 
 // Removed reports whether the transition has been deleted.
 func (m *NFA) Removed(id int) bool { return m.trans[id].removed }
@@ -108,9 +134,9 @@ func (m *NFA) Trans(id int) Trans { return m.trans[id] }
 
 // Out calls f for each live transition leaving state q.
 func (m *NFA) Out(q int, f func(id int, t Trans)) {
-	for _, id := range m.out[q] {
-		if t := m.trans[id]; !t.removed {
-			f(id, t)
+	for i := range m.out[q] {
+		if e := &m.out[q][i]; !e.removed {
+			f(int(e.id), Trans{From: q, Label: e.label, To: int(e.to)})
 		}
 	}
 }
@@ -118,9 +144,9 @@ func (m *NFA) Out(q int, f func(id int, t Trans)) {
 // OutIDs returns the IDs of live transitions leaving q.
 func (m *NFA) OutIDs(q int) []int {
 	var out []int
-	for _, id := range m.out[q] {
-		if !m.trans[id].removed {
-			out = append(out, id)
+	for i := range m.out[q] {
+		if e := &m.out[q][i]; !e.removed {
+			out = append(out, int(e.id))
 		}
 	}
 	return out
@@ -155,11 +181,35 @@ func (m *NFA) AddCopy(sub *NFA) (start, final int) {
 func (m *NFA) Clone() *NFA {
 	out := &NFA{Start: m.Start, Final: m.Final}
 	out.trans = append([]Trans(nil), m.trans...)
-	out.out = make([][]int, len(m.out))
-	for i, ids := range m.out {
-		out.out[i] = append([]int(nil), ids...)
+	out.out = make([][]edge, len(m.out))
+	for i, es := range m.out {
+		out.out[i] = append([]edge(nil), es...)
 	}
 	return out
+}
+
+// CloneInto overwrites dst with a deep copy of m, reusing dst's
+// transition table, state spine and per-state edge buffers. A pooled
+// destination that has grown to the workload's steady-state size makes
+// the copy — and the EM expansions that follow it — allocation-free.
+func (m *NFA) CloneInto(dst *NFA) {
+	dst.Start, dst.Final = m.Start, m.Final
+	dst.trans = append(dst.trans[:0], m.trans...)
+	n := len(m.out)
+	if cap(dst.out) < n {
+		grown := make([][]edge, cap(dst.out), n*2)
+		copy(grown, dst.out[:cap(dst.out)])
+		dst.out = grown
+	}
+	full := dst.out[:cap(dst.out)]
+	for i := 0; i < n; i++ {
+		full[i] = append(full[i][:0], m.out[i]...)
+	}
+	// Empty (but keep) the spare buffers so addState can hand them out.
+	for i := n; i < len(full); i++ {
+		full[i] = full[i][:0]
+	}
+	dst.out = full[:n]
 }
 
 // String renders the automaton for debugging and golden tests: one line

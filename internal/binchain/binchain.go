@@ -265,6 +265,11 @@ func (v *virtualSource) activeDomain() []symtab.Sym {
 	return v.domain
 }
 
+// SymBound reports the symbol table's size so the evaluator can size its
+// dense visited pages; tuple terms interned during evaluation grow the
+// pages on demand.
+func (v *virtualSource) SymBound() int { return v.st.Len() }
+
 func (v *virtualSource) Successors(pred string, u symtab.Sym) []symtab.Sym {
 	r, ok := v.rels[pred]
 	if !ok {
@@ -302,8 +307,29 @@ func (v *virtualSource) eval(r *vrel, from, to []ast.Term, u symtab.Sym) []symta
 			return nil
 		}
 	}
-	seen := map[symtab.Sym]bool{}
+	// Result lists are small in the common case: dedupe by linear scan
+	// and switch to a map only past a threshold, so the demand-driven
+	// joins driving the hot traversal avoid the per-call map allocation.
+	var seen map[symtab.Sym]bool
 	var out []symtab.Sym
+	contains := func(ts symtab.Sym) bool {
+		if seen != nil {
+			return seen[ts]
+		}
+		if len(out) >= 32 {
+			seen = make(map[symtab.Sym]bool, len(out)*2)
+			for _, s := range out {
+				seen[s] = true
+			}
+			return seen[ts]
+		}
+		for _, s := range out {
+			if s == ts {
+				return true
+			}
+		}
+		return false
+	}
 	v.join(r.body, subst, func(s map[string]symtab.Sym) {
 		vals := make([]symtab.Sym, len(to))
 		unbound := -1
@@ -319,8 +345,10 @@ func (v *virtualSource) eval(r *vrel, from, to []ast.Term, u symtab.Sym) []symta
 		}
 		emit := func(vs []symtab.Sym) {
 			ts := v.st.InternTuple(vs)
-			if !seen[ts] {
-				seen[ts] = true
+			if !contains(ts) {
+				if seen != nil {
+					seen[ts] = true
+				}
 				out = append(out, ts)
 			}
 		}

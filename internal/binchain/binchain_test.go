@@ -179,7 +179,7 @@ func TestBindingRestrictsFactsConsulted(t *testing.T) {
 	run := func() int64 {
 		fx.store.Counters.Reset()
 		evalTransformed(t, fx, "cnx(hel, 900, D, AT)", false)
-		return fx.store.Counters.Retrieved
+		return fx.store.Counters.Snapshot().Retrieved
 	}
 	before := run()
 	// Unconnected clique of flights.

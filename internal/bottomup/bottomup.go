@@ -13,7 +13,7 @@ package bottomup
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 
 	"chainlog/internal/ast"
@@ -399,13 +399,12 @@ func Compare(st *symtab.Table, op ast.BuiltinOp, a, b symtab.Sym) bool {
 }
 
 func sortRows(rows [][]symtab.Sym) {
-	sort.Slice(rows, func(i, j int) bool {
-		a, b := rows[i], rows[j]
+	slices.SortFunc(rows, func(a, b []symtab.Sym) int {
 		for k := 0; k < len(a) && k < len(b); k++ {
 			if a[k] != b[k] {
-				return a[k] < b[k]
+				return int(a[k]) - int(b[k])
 			}
 		}
-		return len(a) < len(b)
+		return len(a) - len(b)
 	})
 }

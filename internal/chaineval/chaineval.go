@@ -11,6 +11,11 @@
 // constant, which bounds the potentially relevant facts (factor two), and
 // each node is visited exactly once (factor one: no duplicated work).
 //
+// The visited set is flat memory: one bitset page of the dense Sym
+// domain per automaton state (see visited.go), with a sparse fallback
+// for very large domains, and all per-run scratch is pooled — the
+// steady-state warm path of a prepared plan allocates nothing.
+//
 // Transitions on derived predicates are continuation points: at the end of
 // each main-loop iteration they are expanded in place by fresh copies of
 // M(e_r) (building EM(p,i+1)), and traversal resumes from the copied start
@@ -22,7 +27,8 @@ package chaineval
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -36,7 +42,8 @@ import (
 // Source resolves base-predicate names to binary-relation access. The
 // extensional database implements it directly; the Section 4
 // transformation supplies a source whose base-r/in-r/out-r relations are
-// computed by demand-driven joins.
+// computed by demand-driven joins. Sources may additionally implement
+// SymBounder to let the engine size its dense visited pages exactly.
 type Source interface {
 	// Successors returns all v with pred(u, v).
 	Successors(pred string, u symtab.Sym) []symtab.Sym
@@ -61,6 +68,12 @@ type Options struct {
 	// MaxNodes aborts evaluation when the interpretation graph exceeds
 	// this many nodes; 0 means unlimited. A defensive resource bound.
 	MaxNodes int
+	// SparseVisited forces the evaluator's visited sets onto the sparse
+	// (map-backed) fallback path regardless of domain size. Dense bitset
+	// pages and the sparse path are answer-equivalent; the flag exists so
+	// equivalence tests can drive both. Production runs leave it false
+	// and the engine chooses by domain size.
+	SparseVisited bool
 	// Tracer, when non-nil, observes iterations, node insertions,
 	// expansions and answers as they happen.
 	Tracer Tracer
@@ -98,10 +111,10 @@ type Result struct {
 // system and the linear-shape decompositions are compiled once and cached,
 // so the same engine answers queries for many different bound constants
 // without recompiling anything. All caches are guarded by an internal
-// mutex and the per-query state is local to each call, so one engine may
-// serve Query/QueryInverse/QueryAll from many goroutines concurrently
-// (provided its Source is itself safe for concurrent reads, as the
-// extensional store is).
+// mutex and the per-query state is pooled scratch local to each call, so
+// one engine may serve Query/QueryInverse/QueryAll from many goroutines
+// concurrently (provided its Source is itself safe for concurrent reads,
+// as the extensional store is).
 type Engine struct {
 	sys  *equations.System
 	src  Source
@@ -118,6 +131,9 @@ type Engine struct {
 	// shapes caches the linear decomposition p = e0 ∪ e1·p·e2 and its
 	// compiled automata per predicate (used by the cyclic guard).
 	shapes atomic.Pointer[map[string]*shapeAutomata]
+	// regular caches IsRegularFor per predicate: the check walks the
+	// equation and allocates, and the per-run hot path must not.
+	regular atomic.Pointer[map[string]bool]
 }
 
 // shapeAutomata is a cached LinearDecompose result with the automata of
@@ -134,6 +150,8 @@ func New(sys *equations.System, src Source, opts Options) *Engine {
 	e.compiled.Store(&compiled)
 	shapes := make(map[string]*shapeAutomata)
 	e.shapes.Store(&shapes)
+	regular := make(map[string]bool)
+	e.regular.Store(&regular)
 	return e
 }
 
@@ -165,12 +183,44 @@ func (e *Engine) PrecompileInverse(pred string) {
 // System returns the engine's equation system.
 func (e *Engine) System() *equations.System { return e.sys }
 
+// visitedMode reports the Sym bound for dense page sizing and whether
+// visited sets should use the sparse fallback. The bound comes from the
+// source's symbol table when the source exposes one (SymBounder); pages
+// still grow on demand when terms are interned mid-run.
+func (e *Engine) visitedMode() (bound int, sparse bool) {
+	if sb, ok := e.src.(SymBounder); ok {
+		bound = sb.SymBound()
+	}
+	return bound, e.opts.SparseVisited || bound > denseVisitedLimit
+}
+
 // Query evaluates p(a, Y) and returns the sorted set of Y values.
 func (e *Engine) Query(pred string, a symtab.Sym) (*Result, error) {
 	if _, ok := e.sys.EquationFor(pred); !ok {
 		return nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
 	return e.run(e.sys, pred, a)
+}
+
+// QueryStream evaluates p(a, Y) like Query but delivers the sorted
+// answers to yield instead of materializing a Result. It is the warm
+// path for prepared plans: every piece of traversal state comes from a
+// pooled scratch, so steady-state calls on non-expanding (regular) plans
+// perform zero heap allocations. Evaluation statistics are not reported;
+// use Query when they are needed.
+func (e *Engine) QueryStream(pred string, a symtab.Sym, yield func(symtab.Sym)) error {
+	if _, ok := e.sys.EquationFor(pred); !ok {
+		return fmt.Errorf("chaineval: no equation for predicate %s", pred)
+	}
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	if err := e.runInto(e.sys, pred, a, sc); err != nil {
+		return err
+	}
+	for _, v := range sc.answers {
+		yield(v)
+	}
+	return nil
 }
 
 // QueryInverse evaluates p(X, b) by applying the algorithm to the
@@ -182,6 +232,24 @@ func (e *Engine) QueryInverse(pred string, b symtab.Sym) (*Result, error) {
 		return nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
 	return e.run(rev, pred, b)
+}
+
+// QueryInverseStream is QueryStream over the reversed system: p(X, b)
+// with the sorted X values streamed to yield.
+func (e *Engine) QueryInverseStream(pred string, b symtab.Sym, yield func(symtab.Sym)) error {
+	rev := e.reversedSystem()
+	if _, ok := rev.EquationFor(pred); !ok {
+		return fmt.Errorf("chaineval: no equation for predicate %s", pred)
+	}
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	if err := e.runInto(rev, pred, b, sc); err != nil {
+		return err
+	}
+	for _, v := range sc.answers {
+		yield(v)
+	}
+	return nil
 }
 
 // QueryBoolean evaluates p(a, b). The binding of the second argument
@@ -209,7 +277,7 @@ func (e *Engine) QueryAll(pred string, domain []symtab.Sym) ([][2]symtab.Sym, *R
 	if _, ok := e.sys.EquationFor(pred); !ok {
 		return nil, nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
-	if e.sys.IsRegularFor(pred) {
+	if e.regularFor(e.sys, pred) {
 		return e.allPairsRegular(pred, domain)
 	}
 	var pairs [][2]symtab.Sym
@@ -239,47 +307,78 @@ type node struct {
 	u symtab.Sym
 }
 
-// run is the main program of Figure 4.
+// run executes the traversal with pooled scratch and materializes a
+// Result for callers that need the statistics.
 func (e *Engine) run(sys *equations.System, pred string, a symtab.Sym) (*Result, error) {
-	em := e.compileFor(sys, pred).Clone() // EM(p,1) = copy of M(e_p)
-	res := &Result{}
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	if err := e.runInto(sys, pred, a, sc); err != nil {
+		return nil, err
+	}
+	res := new(Result)
+	*res = sc.res
+	res.Answers = make([]symtab.Sym, len(sc.answers))
+	copy(res.Answers, sc.answers)
+	return res, nil
+}
 
-	G := make(map[node]bool)
-	answers := make(map[symtab.Sym]bool)
-	S := []node{{em.Start, a}}
+// runInto is the main program of Figure 4. It leaves the statistics in
+// sc.res and the sorted answer set in sc.answers; everything it touches
+// lives in sc, so a warm scratch makes the whole run allocation-free
+// until the automaton itself must grow (EM expansion).
+func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *runScratch) error {
+	em := e.compileFor(sys, pred)
+	if !e.regularFor(sys, pred) {
+		// EM(p,1) = copy of M(e_p); expansion will mutate it, so copy
+		// into the scratch automaton (storage reused run over run).
+		// Regular equations never expand and traverse the cached
+		// automaton directly, clone-free.
+		em.CloneInto(&sc.em)
+		em = &sc.em
+	}
+	sc.res = Result{}
+	res := &sc.res
 
-	var bound int
+	bound, sparse := e.visitedMode()
+	var iterBound int
 	if !e.opts.DisableCyclicGuard {
-		bound = e.cyclicBound(sys, pred, a)
+		iterBound = e.cyclicBound(sys, pred, a, sc, bound, sparse)
 	}
 
-	var stack []node
-	// traverse implements Figure 5 iteratively: it pops nodes, follows
-	// base and id transitions creating new nodes, and records
-	// continuation points at derived-predicate transitions.
-	C := make(map[node]bool)
+	G := &sc.G
+	G.reset(bound, sparse)
+	sc.stack = sc.stack[:0]
+	sc.cont = sc.cont[:0]
+	sc.answers = sc.answers[:0]
+	sc.starts = append(sc.starts[:0], node{em.Start, a})
+
+	// visit implements the node-insertion step: mark (q, u), record
+	// answers at the final state, and push for traversal. It reports
+	// false when MaxNodes is exceeded.
 	visit := func(n node) bool {
-		if G[n] {
+		if !G.visit(n.q, n.u) {
 			return true
 		}
-		G[n] = true
 		if e.opts.Tracer != nil {
 			e.opts.Tracer.Node(n.q, n.u)
 		}
 		if n.q == em.Final {
-			answers[n.u] = true
+			sc.answers = append(sc.answers, n.u)
 			if e.opts.Tracer != nil {
 				e.opts.Tracer.Answer(n.u)
 			}
 		}
-		stack = append(stack, n)
-		return e.opts.MaxNodes == 0 || len(G) <= e.opts.MaxNodes
+		sc.stack = append(sc.stack, n)
+		return e.opts.MaxNodes == 0 || G.count <= e.opts.MaxNodes
 	}
+	// traverse implements Figure 5 iteratively: it pops nodes, follows
+	// base and id transitions creating new nodes, and records
+	// continuation points at derived-predicate transitions.
 	traverse := func() error {
-		for len(stack) > 0 {
-			n := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			var overflow bool
+		for len(sc.stack) > 0 {
+			n := sc.stack[len(sc.stack)-1]
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			var overflow, continued bool
 			em.Out(n.q, func(_ int, t automaton.Trans) {
 				if overflow {
 					return
@@ -290,7 +389,13 @@ func (e *Engine) run(sys *equations.System, pred string, a symtab.Sym) (*Result,
 						overflow = true
 					}
 				case sys.Derived[t.Label.Pred]:
-					C[n] = true
+					// Each node is popped exactly once, so appending on
+					// the first derived transition keeps sc.cont
+					// duplicate-free without a set.
+					if !continued {
+						continued = true
+						sc.cont = append(sc.cont, n)
+					}
 				default:
 					var vs []symtab.Sym
 					if t.Label.Inv {
@@ -318,32 +423,30 @@ func (e *Engine) run(sys *equations.System, pred string, a symtab.Sym) (*Result,
 		if e.opts.Tracer != nil {
 			e.opts.Tracer.Iteration(res.Iterations)
 		}
-		for k := range C {
-			delete(C, k)
-		}
-		prevAnswers := len(answers)
-		for _, n := range S {
-			if !G[n] {
+		sc.cont = sc.cont[:0]
+		prevAnswers := len(sc.answers)
+		for _, n := range sc.starts {
+			if !G.has(n.q, n.u) {
 				if !visit(n) {
-					return nil, fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
+					return fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
 				}
 				if err := traverse(); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
-		if len(answers) > prevAnswers || res.AnswerCompleteAt == 0 && len(answers) > 0 {
+		if len(sc.answers) > prevAnswers || res.AnswerCompleteAt == 0 && len(sc.answers) > 0 {
 			res.AnswerCompleteAt = res.Iterations
 		}
 
-		if len(C) == 0 {
+		if len(sc.cont) == 0 {
 			res.Converged = true
 			break
 		}
 		if e.opts.MaxIterations > 0 && res.Iterations >= e.opts.MaxIterations {
 			break
 		}
-		if bound > 0 && res.Iterations >= bound {
+		if iterBound > 0 && res.Iterations >= iterBound {
 			res.Converged = true
 			res.BoundStopped = true
 			break
@@ -351,12 +454,16 @@ func (e *Engine) run(sys *equations.System, pred string, a symtab.Sym) (*Result,
 
 		// Expand every derived-predicate transition leaving a state that
 		// acquired a continuation point, building EM(p,i+1).
-		S = S[:0]
-		states := make(map[int][]symtab.Sym)
-		for n := range C {
-			states[n.q] = append(states[n.q], n.u)
+		sc.starts = sc.starts[:0]
+		if sc.states == nil {
+			sc.states = make(map[int][]symtab.Sym)
+		} else {
+			clear(sc.states)
 		}
-		for q, terms := range states {
+		for _, n := range sc.cont {
+			sc.states[n.q] = append(sc.states[n.q], n.u)
+		}
+		for q, terms := range sc.states {
 			for _, id := range em.OutIDs(q) {
 				t := em.Trans(id)
 				if t.Label.IsID() || !sys.Derived[t.Label.Pred] {
@@ -372,17 +479,17 @@ func (e *Engine) run(sys *equations.System, pred string, a symtab.Sym) (*Result,
 					e.opts.Tracer.Expand(t.Label.Pred, q, start)
 				}
 				for _, u := range terms {
-					S = append(S, node{start, u})
+					sc.starts = append(sc.starts, node{start, u})
 				}
 			}
 		}
 	}
 
-	res.Nodes = len(G)
+	res.Nodes = G.count
 	res.States = em.NumStates()
 	res.Transitions = em.NumTrans()
-	res.Answers = sortedSyms(answers)
-	return res, nil
+	slices.Sort(sc.answers)
+	return nil
 }
 
 // cacheKey disambiguates forward and reversed systems in the shared
@@ -416,6 +523,30 @@ func (e *Engine) compileFor(sys *equations.System, pred string) *automaton.NFA {
 	next[key] = m
 	e.compiled.Store(&next)
 	return m
+}
+
+// regularFor returns the cached IsRegularFor verdict for the given
+// system and predicate. Safe for concurrent use; the fast path is a
+// lock-free map read.
+func (e *Engine) regularFor(sys *equations.System, pred string) bool {
+	key := e.cacheKey(sys, pred)
+	if v, ok := (*e.regular.Load())[key]; ok {
+		return v
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := *e.regular.Load()
+	if v, ok := cur[key]; ok {
+		return v
+	}
+	v := sys.IsRegularFor(pred)
+	next := make(map[string]bool, len(cur)+1)
+	for k, x := range cur {
+		next[k] = x
+	}
+	next[key] = v
+	e.regular.Store(&next)
+	return v
 }
 
 // shapeFor returns the cached linear decomposition of pred's equation
@@ -509,16 +640,21 @@ func reverseExpr(ex expr.Expr, derived map[string]bool) expr.Expr {
 // linear shape p = e0 ∪ e1·p·e2: m is the number of nodes accessible from
 // the query constant by repeated application of e1, and n the number of
 // nodes accessible via e2 from the e0-images of those (the paper's D1 and
-// D2 sets). Returns 0 when the shape does not apply.
-func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym) int {
+// D2 sets). Returns 0 when the shape does not apply. All working sets
+// come from sc, so warm calls allocate nothing.
+func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym, sc *runScratch, bound int, sparse bool) int {
 	sh := e.shapeFor(sys, pred)
 	if !sh.ok {
 		return 0
 	}
-	d1 := e.accessible(sh.e1, []symtab.Sym{a})
-	starts2 := e.imageSet(sh.e0, d1)
-	d2 := e.accessible(sh.e2, starts2)
-	m, n := len(d1), len(d2)
+	sc.d1 = append(sc.d1[:0], a)
+	sc.d1 = e.closure(sh.e1, sc.d1, sc, bound, sparse)
+	sc.d2 = sc.d2[:0]
+	for _, s := range sc.d1 {
+		sc.d2 = e.regularImage(sh.e0, s, sc.d2, sc, bound, sparse)
+	}
+	sc.d2 = e.closure(sh.e2, sc.d2, sc, bound, sparse)
+	m, n := len(sc.d1), len(sc.d2)
 	if m == 0 {
 		m = 1
 	}
@@ -528,75 +664,72 @@ func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym) i
 	return m * n
 }
 
-// accessible returns the set of terms reachable from starts by zero or
-// more applications of the relation denoted by the compiled automaton m
-// (including the starts).
-func (e *Engine) accessible(m *automaton.NFA, starts []symtab.Sym) []symtab.Sym {
-	seen := make(map[symtab.Sym]bool)
-	work := append([]symtab.Sym(nil), starts...)
-	for _, s := range starts {
-		seen[s] = true
+// closure extends the seed terms already in dst to the set of terms
+// reachable from them by zero or more applications of the relation
+// denoted by the compiled automaton m. dst doubles as the worklist; the
+// deduplicated closure (seeds included) is returned in place.
+func (e *Engine) closure(m *automaton.NFA, dst []symtab.Sym, sc *runScratch, bound int, sparse bool) []symtab.Sym {
+	sc.terms.reset(bound, sparse)
+	n := 0
+	for _, s := range dst {
+		if sc.terms.add(s) {
+			dst[n] = s
+			n++
+		}
 	}
-	for len(work) > 0 {
-		u := work[len(work)-1]
-		work = work[:len(work)-1]
-		for _, v := range e.regularImage(m, u) {
-			if !seen[v] {
-				seen[v] = true
-				work = append(work, v)
+	dst = dst[:n]
+	for i := 0; i < len(dst); i++ {
+		sc.img = e.regularImage(m, dst[i], sc.img[:0], sc, bound, sparse)
+		for _, v := range sc.img {
+			if sc.terms.add(v) {
+				dst = append(dst, v)
 			}
 		}
 	}
-	return sortedSyms(seen)
+	return dst
 }
 
-// imageSet returns the union of images of the given terms under the
-// compiled automaton m.
-func (e *Engine) imageSet(m *automaton.NFA, starts []symtab.Sym) []symtab.Sym {
-	out := make(map[symtab.Sym]bool)
-	for _, s := range starts {
-		for _, v := range e.regularImage(m, s) {
-			out[v] = true
-		}
-	}
-	return sortedSyms(out)
-}
-
-// regularImage runs a single-iteration traversal of a derived-free
-// automaton from (start, u) and returns the terms at the final state.
-func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym) []symtab.Sym {
-	G := map[node]bool{{m.Start, u}: true}
-	stack := []node{{m.Start, u}}
-	out := make(map[symtab.Sym]bool)
+// regularImage appends to out the terms at the final state of a
+// single-iteration traversal of the derived-free automaton m from u.
+// Node-level deduplication (sc.rG) guarantees each image term is
+// appended at most once.
+func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym, out []symtab.Sym, sc *runScratch, bound int, sparse bool) []symtab.Sym {
+	sc.rG.reset(bound, sparse)
+	sc.rStack = append(sc.rStack[:0], node{m.Start, u})
+	sc.rG.visit(m.Start, u)
 	if m.Start == m.Final {
-		out[u] = true
+		out = append(out, u)
 	}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	for len(sc.rStack) > 0 {
+		n := sc.rStack[len(sc.rStack)-1]
+		sc.rStack = sc.rStack[:len(sc.rStack)-1]
 		m.Out(n.q, func(_ int, t automaton.Trans) {
 			var vs []symtab.Sym
 			switch {
 			case t.Label.IsID():
-				vs = []symtab.Sym{n.u}
+				if sc.rG.visit(t.To, n.u) {
+					sc.rStack = append(sc.rStack, node{t.To, n.u})
+					if t.To == m.Final {
+						out = append(out, n.u)
+					}
+				}
+				return
 			case t.Label.Inv:
 				vs = e.src.Predecessors(t.Label.Pred, n.u)
 			default:
 				vs = e.src.Successors(t.Label.Pred, n.u)
 			}
 			for _, v := range vs {
-				nn := node{t.To, v}
-				if !G[nn] {
-					G[nn] = true
-					stack = append(stack, nn)
-					if nn.q == m.Final {
-						out[v] = true
+				if sc.rG.visit(t.To, v) {
+					sc.rStack = append(sc.rStack, node{t.To, v})
+					if t.To == m.Final {
+						out = append(out, v)
 					}
 				}
 			}
 		})
 	}
-	return sortedSyms(out)
+	return out
 }
 
 // allPairsRegular evaluates p(X,Y) for all sources at once in the regular
@@ -605,32 +738,72 @@ func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym) []symtab.Sym {
 // the condensation in reverse topological order, so subgraphs shared
 // between sources are traversed once (the optimization the paper
 // attributes to [19, 21]).
+//
+// Node interning uses dense per-state id pages when the Sym domain is
+// small enough, and the reachable-term sets propagate as bitsets with
+// word-level unions when their total size is affordable; both fall back
+// to the map representation otherwise.
 func (e *Engine) allPairsRegular(pred string, domain []symtab.Sym) ([][2]symtab.Sym, *Result, error) {
 	m := e.compileFor(e.sys, pred)
 	res := &Result{Iterations: 1, Converged: true}
+	bound, sparse := e.visitedMode()
 
-	ids := make(map[node]int)
+	// allPairsDenseLimit bounds the per-page id memory, and the
+	// states × bound product caps the total (1<<24 int32s = 64 MiB):
+	// one int32 page per visited automaton state.
+	const allPairsDenseLimit = 1 << 19
+
 	var nodes []node
 	g := graph.New(0)
-	intern := func(n node) int {
-		if id, ok := ids[n]; ok {
-			return id
+	var intern func(n node) (int, bool)
+	if sparse || bound > allPairsDenseLimit || m.NumStates()*bound > 1<<24 {
+		ids := make(map[node]int32)
+		intern = func(n node) (int, bool) {
+			if id, ok := ids[n]; ok {
+				return int(id), false
+			}
+			id := g.AddNode()
+			ids[n] = int32(id)
+			nodes = append(nodes, n)
+			return id, true
 		}
-		id := g.AddNode()
-		ids[n] = id
-		nodes = append(nodes, n)
-		return id
+	} else {
+		pages := make([][]int32, m.NumStates())
+		intern = func(n node) (int, bool) {
+			p := pages[n.q]
+			if p == nil {
+				p = make([]int32, max(bound, int(n.u)+1))
+				for i := range p {
+					p[i] = -1
+				}
+				pages[n.q] = p
+			} else if int(n.u) >= len(p) {
+				np := make([]int32, max(int(n.u)+1, 2*len(p)))
+				copy(np, p)
+				for i := len(p); i < len(np); i++ {
+					np[i] = -1
+				}
+				p = np
+				pages[n.q] = p
+			}
+			if id := p[n.u]; id >= 0 {
+				return int(id), false
+			}
+			id := g.AddNode()
+			p[n.u] = int32(id)
+			nodes = append(nodes, n)
+			return id, true
+		}
 	}
 
 	var stack []int
 	sources := make([]int, len(domain))
 	for i, a := range domain {
-		n := node{m.Start, a}
-		if _, ok := ids[n]; !ok {
-			id := intern(n)
+		id, fresh := intern(node{m.Start, a})
+		if fresh {
 			stack = append(stack, id)
 		}
-		sources[i] = ids[n]
+		sources[i] = id
 	}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
@@ -647,10 +820,8 @@ func (e *Engine) allPairsRegular(pred string, domain []symtab.Sym) ([][2]symtab.
 				vs = e.src.Successors(t.Label.Pred, n.u)
 			}
 			for _, v := range vs {
-				nn := node{t.To, v}
-				before := len(ids)
-				nid := intern(nn)
-				if len(ids) > before {
+				nid, fresh := intern(node{t.To, v})
+				if fresh {
 					stack = append(stack, nid)
 				}
 				g.AddEdge(id, nid)
@@ -662,60 +833,107 @@ func (e *Engine) allPairsRegular(pred string, domain []symtab.Sym) ([][2]symtab.
 		return nil, nil, fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
 	}
 
-	// Condense and propagate final-state terms bottom-up.
+	// Condense and propagate final-state terms bottom-up. Tarjan numbers
+	// components in reverse topological order: successors of c have
+	// smaller indices, so processing components in increasing index order
+	// has successor sets ready.
 	dag, comp := g.Condense()
 	ncomp := dag.Len()
-	own := make([]map[symtab.Sym]bool, ncomp)
-	for id, n := range nodes {
-		if n.q == m.Final {
-			c := comp[id]
-			if own[c] == nil {
-				own[c] = make(map[symtab.Sym]bool)
-			}
-			own[c][n.u] = true
-		}
-	}
-	// Tarjan numbers components in reverse topological order: successors
-	// of c have smaller indices, so process components in increasing
-	// index order to have successor sets ready.
-	reach := make([]map[symtab.Sym]bool, ncomp)
-	for c := 0; c < ncomp; c++ {
-		set := make(map[symtab.Sym]bool)
-		for t := range own[c] {
-			set[t] = true
-		}
-		for _, d := range dag.Succ(c) {
-			for t := range reach[d] {
-				set[t] = true
-			}
-		}
-		reach[c] = set
-	}
 
 	var pairs [][2]symtab.Sym
-	for i, a := range domain {
-		for t := range reach[comp[sources[i]]] {
-			pairs = append(pairs, [2]symtab.Sym{a, t})
+	words := (bound + 63) / 64
+	// reachWordBudget caps the dense propagation memory (in 8-byte
+	// words) before falling back to sparse sets.
+	const reachWordBudget = 1 << 24
+	if !sparse && bound > 0 && ncomp*words <= reachWordBudget {
+		reach := make([][]uint64, ncomp)
+		set := func(b []uint64, u symtab.Sym) []uint64 {
+			w := int(u) >> 6
+			if w >= len(b) {
+				nb := make([]uint64, w+1)
+				copy(nb, b)
+				b = nb
+			}
+			b[w] |= uint64(1) << (uint(u) & 63)
+			return b
+		}
+		for id, n := range nodes {
+			if n.q == m.Final {
+				c := comp[id]
+				if reach[c] == nil {
+					reach[c] = make([]uint64, words)
+				}
+				reach[c] = set(reach[c], n.u)
+			}
+		}
+		for c := 0; c < ncomp; c++ {
+			for _, d := range dag.Succ(c) {
+				src := reach[d]
+				if len(src) == 0 {
+					continue
+				}
+				if reach[c] == nil {
+					reach[c] = make([]uint64, max(words, len(src)))
+				} else if len(src) > len(reach[c]) {
+					nb := make([]uint64, len(src))
+					copy(nb, reach[c])
+					reach[c] = nb
+				}
+				dst := reach[c]
+				for w, x := range src {
+					dst[w] |= x
+				}
+			}
+		}
+		for i, a := range domain {
+			b := reach[comp[sources[i]]]
+			for w, x := range b {
+				for x != 0 {
+					u := symtab.Sym(w<<6 + bits.TrailingZeros64(x))
+					pairs = append(pairs, [2]symtab.Sym{a, u})
+					x &= x - 1
+				}
+			}
+		}
+	} else {
+		own := make([]map[symtab.Sym]bool, ncomp)
+		for id, n := range nodes {
+			if n.q == m.Final {
+				c := comp[id]
+				if own[c] == nil {
+					own[c] = make(map[symtab.Sym]bool)
+				}
+				own[c][n.u] = true
+			}
+		}
+		reach := make([]map[symtab.Sym]bool, ncomp)
+		for c := 0; c < ncomp; c++ {
+			set := make(map[symtab.Sym]bool)
+			for t := range own[c] {
+				set[t] = true
+			}
+			for _, d := range dag.Succ(c) {
+				for t := range reach[d] {
+					set[t] = true
+				}
+			}
+			reach[c] = set
+		}
+		for i, a := range domain {
+			for t := range reach[comp[sources[i]]] {
+				pairs = append(pairs, [2]symtab.Sym{a, t})
+			}
 		}
 	}
 	sortPairs(pairs)
 	return pairs, res, nil
 }
 
-func sortedSyms(set map[symtab.Sym]bool) []symtab.Sym {
-	out := make([]symtab.Sym, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 func sortPairs(pairs [][2]symtab.Sym) {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i][0] != pairs[j][0] {
-			return pairs[i][0] < pairs[j][0]
+	slices.SortFunc(pairs, func(a, b [2]symtab.Sym) int {
+		if a[0] != b[0] {
+			return int(a[0]) - int(b[0])
 		}
-		return pairs[i][1] < pairs[j][1]
+		return int(a[1]) - int(b[1])
 	})
 }

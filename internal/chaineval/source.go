@@ -5,6 +5,15 @@ import (
 	"chainlog/internal/symtab"
 )
 
+// SymBounder is an optional Source extension: SymBound returns an
+// exclusive upper bound on the Sym values the source can produce (the
+// symbol table's current size). The engine uses it to size its dense
+// visited pages exactly; sources that cannot report a bound simply omit
+// the method and pages grow on demand instead.
+type SymBounder interface {
+	SymBound() int
+}
+
 // StoreSource adapts an extensional store to the Source interface.
 type StoreSource struct {
 	Store *edb.Store
@@ -20,11 +29,18 @@ func (s StoreSource) Predecessors(pred string, v symtab.Sym) []symtab.Sym {
 	return s.Store.Relation(pred).Predecessors(v)
 }
 
+// SymBound reports the store's symbol-table size for dense page sizing.
+func (s StoreSource) SymBound() int {
+	return s.Store.SymBound()
+}
+
 // FuncSource builds a Source from closures; used by tests and by virtual
 // relation layers that fall back to a store.
 type FuncSource struct {
 	Succ func(pred string, u symtab.Sym) []symtab.Sym
 	Pred func(pred string, v symtab.Sym) []symtab.Sym
+	// Bound optionally reports the Sym upper bound (see SymBounder).
+	Bound func() int
 }
 
 // Successors invokes the Succ closure.
@@ -35,4 +51,12 @@ func (f FuncSource) Successors(pred string, u symtab.Sym) []symtab.Sym {
 // Predecessors invokes the Pred closure.
 func (f FuncSource) Predecessors(pred string, v symtab.Sym) []symtab.Sym {
 	return f.Pred(pred, v)
+}
+
+// SymBound invokes the Bound closure, or reports no bound when unset.
+func (f FuncSource) SymBound() int {
+	if f.Bound == nil {
+		return 0
+	}
+	return f.Bound()
 }

@@ -24,7 +24,7 @@
 package counting
 
 import (
-	"sort"
+	"slices"
 
 	"chainlog/internal/chaineval"
 	"chainlog/internal/equations"
@@ -149,5 +149,5 @@ func union(a, b []symtab.Sym) []symtab.Sym {
 }
 
 func sortSyms(s []symtab.Sym) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }

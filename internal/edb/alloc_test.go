@@ -1,0 +1,126 @@
+package edb
+
+import (
+	"fmt"
+	"testing"
+
+	"chainlog/internal/symtab"
+)
+
+// TestSuccessorsZeroAlloc pins the CSR fast path: once the adjacency is
+// built, Successors and Predecessors are two array loads and must not
+// allocate, per the acceptance criteria of the flat-memory refactor.
+func TestSuccessorsZeroAlloc(t *testing.T) {
+	st := symtab.NewTable()
+	s := NewStore(st)
+	syms := make([]symtab.Sym, 256)
+	for i := range syms {
+		syms[i] = st.Intern(fmt.Sprintf("c%d", i))
+	}
+	for k := 0; k < 1024; k++ {
+		s.Insert("edge", syms[k%256], syms[(k*13+5)%256])
+	}
+	r := s.Relation("edge")
+	r.Successors(syms[0])   // build fwd CSR
+	r.Predecessors(syms[0]) // build rev CSR
+
+	i := 0
+	if got := testing.AllocsPerRun(1000, func() {
+		r.Successors(syms[i%256])
+		i++
+	}); got != 0 {
+		t.Fatalf("Successors allocates %.1f allocs/op on the warm path, want 0", got)
+	}
+	if got := testing.AllocsPerRun(1000, func() {
+		r.Predecessors(syms[i%256])
+		i++
+	}); got != 0 {
+		t.Fatalf("Predecessors allocates %.1f allocs/op on the warm path, want 0", got)
+	}
+}
+
+// TestContainsZeroAlloc pins the packed-key dedup probe: tuples up to
+// four columns must test membership without encoding a string.
+func TestContainsZeroAlloc(t *testing.T) {
+	st := symtab.NewTable()
+	s := NewStore(st)
+	a, b, c := st.Intern("a"), st.Intern("b"), st.Intern("c")
+	s.Insert("edge", a, b)
+	s.Insert("r3", a, b, c)
+	probe2 := []symtab.Sym{a, b}
+	probe3 := []symtab.Sym{a, b, c}
+	r2, r3 := s.Relation("edge"), s.Relation("r3")
+	if got := testing.AllocsPerRun(1000, func() {
+		if !r2.Contains(probe2) || !r3.Contains(probe3) {
+			t.Error("tuple missing")
+		}
+	}); got != 0 {
+		t.Fatalf("Contains allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestCSRMatchesScan is the CSR half of the equivalence property test:
+// adjacency answers must be byte-identical (same multiset, same order
+// guarantees aside) to a naive scan over the flat tuple storage, across
+// random relations and interleaved inserts that force rebuilds.
+func TestCSRMatchesScan(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		st := symtab.NewTable()
+		s := NewStore(st)
+		syms := make([]symtab.Sym, 40)
+		for i := range syms {
+			syms[i] = st.Intern(fmt.Sprintf("n%d", i))
+		}
+		rng := seed
+		next := func() int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(rng>>33) % len(syms)
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		r := (*Relation)(nil)
+		for round := 0; round < 3; round++ {
+			for k := 0; k < 60; k++ {
+				s.Insert("edge", syms[next()], syms[next()])
+			}
+			r = s.Relation("edge")
+			for _, u := range syms {
+				var wantSucc, wantPred []symtab.Sym
+				for i := 0; i < r.Len(); i++ {
+					tup := r.Tuple(i)
+					if tup[0] == u {
+						wantSucc = append(wantSucc, tup[1])
+					}
+					if tup[1] == u {
+						wantPred = append(wantPred, tup[0])
+					}
+				}
+				gotSucc := r.Successors(u)
+				gotPred := r.Predecessors(u)
+				if !symsEqual(gotSucc, wantSucc) {
+					t.Fatalf("seed %d round %d: Successors(%v) = %v, scan = %v", seed, round, u, gotSucc, wantSucc)
+				}
+				if !symsEqual(gotPred, wantPred) {
+					t.Fatalf("seed %d round %d: Predecessors(%v) = %v, scan = %v", seed, round, u, gotPred, wantPred)
+				}
+			}
+		}
+	}
+}
+
+// symsEqual compares slices as multisets-in-insertion-order: the CSR
+// build preserves tuple insertion order within one key, matching the
+// scan exactly.
+func symsEqual(a, b []symtab.Sym) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -6,21 +6,26 @@
 // consulted. The store therefore provides constant-expected-time indexed
 // retrieval and counts every lookup and every tuple returned, so the
 // benchmark harness can report retrieval counts alongside wall time.
+//
+// Memory layout: binary relations publish their adjacency as CSR
+// (compressed sparse row) — one offset array indexed directly by the
+// dense symtab.Sym plus one flat neighbor slice — so the hot
+// Successors/Predecessors operations are two array loads and a slice,
+// with zero per-key hashing or allocation. Retrieval counters are
+// sharded across padded cache lines so concurrent queries do not
+// serialize on a single pair of atomics.
 package edb
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"chainlog/internal/symtab"
 )
 
-// Counters accumulates access statistics across a store's relations.
-// Increments are atomic, so concurrent readers of a store may probe it
-// simultaneously; read the fields directly only when no probes are in
-// flight, or take an atomic Snapshot.
+// Counters is a point-in-time copy of a store's access statistics.
 type Counters struct {
 	// Lookups is the number of index probes (Successors, Predecessors,
 	// Match calls).
@@ -29,24 +34,50 @@ type Counters struct {
 	Retrieved int64
 }
 
-// Reset zeroes the counters.
-func (c *Counters) Reset() {
-	atomic.StoreInt64(&c.Lookups, 0)
-	atomic.StoreInt64(&c.Retrieved, 0)
+// counterShards is the number of independently counted cache lines; a
+// power of two so shard selection is a mask.
+const counterShards = 16
+
+// counterShard is one cache line of counters. The padding keeps shards
+// on distinct lines so concurrent probes hashing to different shards do
+// not false-share.
+type counterShard struct {
+	lookups   atomic.Int64
+	retrieved atomic.Int64
+	_         [48]byte
 }
 
-// Snapshot returns an atomically read copy of the counters.
-func (c *Counters) Snapshot() Counters {
-	return Counters{
-		Lookups:   atomic.LoadInt64(&c.Lookups),
-		Retrieved: atomic.LoadInt64(&c.Retrieved),
+// CounterSet accumulates access statistics across a store's relations,
+// sharded across padded cache lines. Increments are atomic and
+// distributed by probe key, so concurrent readers of a store scale
+// instead of contending on two global int64s. Read it with Snapshot.
+type CounterSet struct {
+	shards [counterShards]counterShard
+}
+
+// Reset zeroes the counters.
+func (c *CounterSet) Reset() {
+	for i := range c.shards {
+		c.shards[i].lookups.Store(0)
+		c.shards[i].retrieved.Store(0)
 	}
 }
 
-// count records one probe returning n tuples.
-func (c *Counters) count(n int64) {
-	atomic.AddInt64(&c.Lookups, 1)
-	atomic.AddInt64(&c.Retrieved, n)
+// Snapshot returns an atomically read copy of the counters.
+func (c *CounterSet) Snapshot() Counters {
+	var out Counters
+	for i := range c.shards {
+		out.Lookups += c.shards[i].lookups.Load()
+		out.Retrieved += c.shards[i].retrieved.Load()
+	}
+	return out
+}
+
+// count records one probe returning n tuples on the shard selected by h.
+func (c *CounterSet) count(h uint32, n int64) {
+	s := &c.shards[h&(counterShards-1)]
+	s.lookups.Add(1)
+	s.retrieved.Add(n)
 }
 
 // Store holds all extensional relations of one database instance.
@@ -58,10 +89,8 @@ func (c *Counters) count(n int64) {
 // require external exclusion of all readers; the chainlog.DB write lock
 // provides it.
 type Store struct {
-	// Counters is shared by every relation in the store. It is the
-	// first field so its int64s stay 8-byte aligned on 32-bit platforms
-	// (sync/atomic requires it).
-	Counters Counters
+	// Counters is shared by every relation in the store.
+	Counters CounterSet
 	st       *symtab.Table
 	rels     map[string]*Relation
 	names    []string
@@ -75,6 +104,11 @@ func NewStore(st *symtab.Table) *Store {
 // SymTab returns the store's symbol table.
 func (s *Store) SymTab() *symtab.Table { return s.st }
 
+// SymBound returns an exclusive upper bound on the Sym values the store
+// can contain: the symbol table's current size. Evaluators use it to size
+// dense visited pages exactly.
+func (s *Store) SymBound() int { return s.st.Len() }
+
 // CountersSnapshot returns an atomically read copy of the store's
 // counters, safe to take while probes are in flight.
 func (s *Store) CountersSnapshot() Counters { return s.Counters.Snapshot() }
@@ -86,6 +120,7 @@ func (s *Store) Insert(pred string, args ...symtab.Sym) {
 	r, ok := s.rels[pred]
 	if !ok {
 		r = newRelation(s, pred, len(args))
+		r.shard = uint32(len(s.names))
 		s.rels[pred] = r
 		s.names = append(s.names, pred)
 	}
@@ -118,15 +153,37 @@ func (s *Store) Clone() *Store {
 	for _, name := range s.names {
 		r := s.rels[name]
 		nr := newRelation(out, name, r.arity)
+		nr.shard = uint32(len(out.names))
 		nr.flat = append([]symtab.Sym(nil), r.flat...)
 		nr.n = r.n
 		for k := range r.seen {
 			nr.seen[k] = true
 		}
+		for k := range r.seenWide {
+			if nr.seenWide == nil {
+				nr.seenWide = make(map[string]bool, len(r.seenWide))
+			}
+			nr.seenWide[k] = true
+		}
 		out.rels[name] = nr
 		out.names = append(out.names, name)
 	}
 	return out
+}
+
+// packedKeyCols is the widest tuple stored inline in the dedup map; wider
+// tuples fall back to encoded string keys.
+const packedKeyCols = 4
+
+// packedKey is a tuple packed into a fixed array, usable as a map key
+// without allocating. Relations have fixed arity, so zero-padding the
+// unused columns is unambiguous within one relation.
+type packedKey [packedKeyCols]symtab.Sym
+
+func packKey(args []symtab.Sym) packedKey {
+	var k packedKey
+	copy(k[:], args)
+	return k
 }
 
 // Relation is one stored relation. Tuples live in a flat slice with a
@@ -136,9 +193,13 @@ type Relation struct {
 	store *Store
 	name  string
 	arity int
-	n     int // tuple count (flat length / arity, except for arity 0)
+	shard uint32 // base shard for this relation's counter updates
+	n     int    // tuple count (flat length / arity, except for arity 0)
 	flat  []symtab.Sym
-	seen  map[string]bool
+	// seen dedupes tuples of arity <= packedKeyCols without allocating;
+	// seenWide handles wider tuples with encoded string keys.
+	seen     map[packedKey]bool
+	seenWide map[string]bool
 	// mu guards lazy construction of the structures below; readers go
 	// through the atomic pointers without locking, so concurrent probes
 	// scale while a racing first build happens exactly once.
@@ -146,9 +207,34 @@ type Relation struct {
 	// indexes[mask] indexes the columns whose bit is set in mask. The
 	// outer map is copy-on-write: adding a mask publishes a new map.
 	indexes atomic.Pointer[map[uint32]map[string][]int32]
-	// adjacency caches for the binary fast path
-	fwd atomic.Pointer[map[symtab.Sym][]symtab.Sym]
-	rev atomic.Pointer[map[symtab.Sym][]symtab.Sym]
+	// fwd and rev are the CSR adjacency of binary relations. They are
+	// published copy-on-write: a probe that finds the CSR stale (built
+	// from fewer tuples than the relation now holds) scans the small
+	// insert tail linearly, and rebuilds/republishes under mu once the
+	// tail passes adjTailMax — so bulk-load-then-query pays one O(m)
+	// build with every later probe two array loads, and interleaved
+	// insert/probe pays bounded tail scans with a rebuild at most once
+	// per adjTailMax inserts.
+	fwd atomic.Pointer[csr]
+	rev atomic.Pointer[csr]
+}
+
+// csr is compressed-sparse-row adjacency: the neighbors of u are
+// nbr[off[u]:off[u+1]]. off is indexed directly by the dense Sym value
+// and sized to the largest key present at build time.
+type csr struct {
+	n   int // tuples covered by this build; != Relation.n means stale
+	off []int32
+	nbr []symtab.Sym
+}
+
+// lookup returns the neighbor slice of u, aliasing the CSR arrays.
+func (c *csr) lookup(u symtab.Sym) []symtab.Sym {
+	i := int(u)
+	if i < 0 || i >= len(c.off)-1 {
+		return nil
+	}
+	return c.nbr[c.off[i]:c.off[i+1]]
 }
 
 func newRelation(s *Store, name string, arity int) *Relation {
@@ -156,7 +242,7 @@ func newRelation(s *Store, name string, arity int) *Relation {
 		store: s,
 		name:  name,
 		arity: arity,
-		seen:  make(map[string]bool),
+		seen:  make(map[packedKey]bool),
 	}
 	idx := make(map[uint32]map[string][]int32)
 	r.indexes.Store(&idx)
@@ -182,29 +268,36 @@ func (r *Relation) insert(args []symtab.Sym) {
 	if len(args) != r.arity {
 		panic(fmt.Sprintf("edb: %s arity %d, got %d args", r.name, r.arity, len(args)))
 	}
-	key := encode(args)
-	if r.seen[key] {
-		return
+	if r.arity <= packedKeyCols {
+		key := packKey(args)
+		if r.seen[key] {
+			return
+		}
+		r.seen[key] = true
+	} else {
+		key := encode(args)
+		if r.seenWide == nil {
+			r.seenWide = make(map[string]bool)
+		}
+		if r.seenWide[key] {
+			return
+		}
+		r.seenWide[key] = true
 	}
-	r.seen[key] = true
 	r.flat = append(r.flat, args...)
 	r.n++
-	// Invalidate caches: appending keeps existing index entries valid,
-	// so extend instead of dropping when already built. Mutation requires
-	// external exclusion of readers (see Store doc), so updating the
-	// published maps in place is safe here.
+	// Appending keeps existing index entries valid, so extend the n-ary
+	// indexes in place; the CSR adjacency picks the new tuple up via the
+	// probe-side tail scan and rebuilds lazily once the tail grows (its
+	// build count no longer matches r.n). Mutation requires external
+	// exclusion of readers (see Store doc), so updating the published
+	// maps in place is safe here.
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	idx := int32(r.n - 1)
 	for mask, m := range *r.indexes.Load() {
 		k := encodeMasked(args, mask)
 		m[k] = append(m[k], idx)
-	}
-	if fwd := r.fwd.Load(); fwd != nil && r.arity == 2 {
-		(*fwd)[args[0]] = append((*fwd)[args[0]], args[1])
-	}
-	if rev := r.rev.Load(); rev != nil && r.arity == 2 {
-		(*rev)[args[1]] = append((*rev)[args[1]], args[0])
 	}
 }
 
@@ -221,27 +314,114 @@ func (r *Relation) Each(f func(tuple []symtab.Sym)) {
 		return
 	}
 	n := r.Len()
-	r.store.Counters.count(int64(n))
+	r.store.Counters.count(r.shard, int64(n))
 	for i := 0; i < n; i++ {
 		f(r.Tuple(i))
 	}
 }
 
-// Contains reports whether the tuple is present.
+// Contains reports whether the tuple is present. The probe allocates
+// nothing for tuples up to four columns wide.
 func (r *Relation) Contains(args []symtab.Sym) bool {
 	if r == nil {
 		return false
 	}
-	if r.seen[encode(args)] {
-		r.store.Counters.count(1)
+	var ok bool
+	if len(args) <= packedKeyCols {
+		ok = r.seen[packKey(args)]
+	} else {
+		ok = r.seenWide[encode(args)]
+	}
+	var h uint32
+	if len(args) > 0 {
+		h = uint32(args[0])
+	}
+	if ok {
+		r.store.Counters.count(r.shard^h, 1)
 		return true
 	}
-	r.store.Counters.count(0)
+	r.store.Counters.count(r.shard^h, 0)
 	return false
 }
 
+// adjTailMax bounds how many freshly inserted tuples a probe will scan
+// linearly before forcing a CSR rebuild. Probes therefore pay at most a
+// constant-size tail scan, and a rebuild happens at most once per
+// adjTailMax inserts — interleaved insert/probe costs O(m/adjTailMax)
+// amortized per insert instead of a full rebuild on every first probe
+// after an insert.
+const adjTailMax = 64
+
+// lookupAdj answers one adjacency probe: the CSR prefix plus a linear
+// scan of the insert tail the CSR does not cover yet. The common warm
+// case (no tail) aliases the CSR and performs no allocation; a probe
+// whose key matches in a pending tail returns a fresh combined slice.
+func (r *Relation) lookupAdj(p *atomic.Pointer[csr], keyCol, valCol int, key symtab.Sym) []symtab.Sym {
+	c := p.Load()
+	if c == nil || r.n-c.n > adjTailMax {
+		c = r.rebuildAdj(p, keyCol, valCol)
+	}
+	out := c.lookup(key)
+	if c.n == r.n {
+		return out
+	}
+	// Tail scan: tuples inserted since the CSR build, in insertion order
+	// (mutation requires external exclusion of readers, so flat and r.n
+	// are stable here).
+	copied := false
+	for i := c.n; i < r.n; i++ {
+		t := r.Tuple(i)
+		if t[keyCol] != key {
+			continue
+		}
+		if !copied {
+			out = append(append(make([]symtab.Sym, 0, len(out)+1), out...), t[valCol])
+			copied = true
+		} else {
+			out = append(out, t[valCol])
+		}
+	}
+	return out
+}
+
+// rebuildAdj builds the CSR for the given direction from the full tuple
+// list and publishes it. keyCol indexes the CSR, valCol is the neighbor
+// column.
+func (r *Relation) rebuildAdj(p *atomic.Pointer[csr], keyCol, valCol int) *csr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := p.Load(); c != nil && c.n == r.n {
+		return c
+	}
+	n := r.n
+	maxKey := -1
+	for i := 0; i < n; i++ {
+		if k := int(r.Tuple(i)[keyCol]); k > maxKey {
+			maxKey = k
+		}
+	}
+	c := &csr{n: n, off: make([]int32, maxKey+2), nbr: make([]symtab.Sym, n)}
+	// Counting sort: tally per key, prefix-sum, then scatter.
+	for i := 0; i < n; i++ {
+		c.off[int(r.Tuple(i)[keyCol])+1]++
+	}
+	for i := 1; i < len(c.off); i++ {
+		c.off[i] += c.off[i-1]
+	}
+	fill := make([]int32, maxKey+1)
+	for i := 0; i < n; i++ {
+		t := r.Tuple(i)
+		k := int(t[keyCol])
+		c.nbr[c.off[k]+fill[k]] = t[valCol]
+		fill[k]++
+	}
+	p.Store(c)
+	return c
+}
+
 // Successors returns all v with r(u, v). Binary relations only. The
-// returned slice aliases the adjacency cache.
+// returned slice aliases the CSR adjacency; the warm path (CSR current,
+// no pending insert tail) performs no allocation and no hashing.
 func (r *Relation) Successors(u symtab.Sym) []symtab.Sym {
 	if r == nil {
 		return nil
@@ -249,22 +429,8 @@ func (r *Relation) Successors(u symtab.Sym) []symtab.Sym {
 	if r.arity != 2 {
 		panic("edb: Successors on non-binary relation " + r.name)
 	}
-	fwd := r.fwd.Load()
-	if fwd == nil {
-		r.mu.Lock()
-		if fwd = r.fwd.Load(); fwd == nil {
-			m := make(map[symtab.Sym][]symtab.Sym)
-			for i := 0; i < r.Len(); i++ {
-				t := r.Tuple(i)
-				m[t[0]] = append(m[t[0]], t[1])
-			}
-			fwd = &m
-			r.fwd.Store(fwd)
-		}
-		r.mu.Unlock()
-	}
-	out := (*fwd)[u]
-	r.store.Counters.count(int64(len(out)))
+	out := r.lookupAdj(&r.fwd, 0, 1, u)
+	r.store.Counters.count(r.shard^uint32(u), int64(len(out)))
 	return out
 }
 
@@ -276,22 +442,8 @@ func (r *Relation) Predecessors(v symtab.Sym) []symtab.Sym {
 	if r.arity != 2 {
 		panic("edb: Predecessors on non-binary relation " + r.name)
 	}
-	rev := r.rev.Load()
-	if rev == nil {
-		r.mu.Lock()
-		if rev = r.rev.Load(); rev == nil {
-			m := make(map[symtab.Sym][]symtab.Sym)
-			for i := 0; i < r.Len(); i++ {
-				t := r.Tuple(i)
-				m[t[1]] = append(m[t[1]], t[0])
-			}
-			rev = &m
-			r.rev.Store(rev)
-		}
-		r.mu.Unlock()
-	}
-	out := (*rev)[v]
-	r.store.Counters.count(int64(len(out)))
+	out := r.lookupAdj(&r.rev, 1, 0, v)
+	r.store.Counters.count(r.shard^uint32(v), int64(len(out)))
 	return out
 }
 
@@ -300,16 +452,12 @@ func (r *Relation) Domain(col int) []symtab.Sym {
 	if r == nil {
 		return nil
 	}
-	set := make(map[symtab.Sym]bool)
+	out := make([]symtab.Sym, 0, r.Len())
 	for i := 0; i < r.Len(); i++ {
-		set[r.Tuple(i)[col]] = true
+		out = append(out, r.Tuple(i)[col])
 	}
-	out := make([]symtab.Sym, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // Match returns the offsets of tuples whose columns selected by mask equal
@@ -319,9 +467,13 @@ func (r *Relation) Match(mask uint32, bound []symtab.Sym) []int32 {
 	if r == nil {
 		return nil
 	}
+	var h uint32
+	if len(bound) > 0 {
+		h = uint32(bound[0])
+	}
 	if mask == 0 {
 		n := r.Len()
-		r.store.Counters.count(int64(n))
+		r.store.Counters.count(r.shard, int64(n))
 		out := make([]int32, n)
 		for i := range out {
 			out[i] = int32(i)
@@ -350,7 +502,7 @@ func (r *Relation) Match(mask uint32, bound []symtab.Sym) []int32 {
 		r.mu.Unlock()
 	}
 	out := idx[encodeBound(bound)]
-	r.store.Counters.count(int64(len(out)))
+	r.store.Counters.count(r.shard^h, int64(len(out)))
 	return out
 }
 

@@ -123,12 +123,12 @@ func TestCountersAccumulate(t *testing.T) {
 	s.Insert("edge", a, b)
 	s.Counters.Reset()
 	s.Relation("edge").Successors(a)
-	if s.Counters.Lookups != 1 || s.Counters.Retrieved != 1 {
-		t.Fatalf("counters = %+v", s.Counters)
+	if s.Counters.Snapshot().Lookups != 1 || s.Counters.Snapshot().Retrieved != 1 {
+		t.Fatalf("counters = %+v", s.Counters.Snapshot())
 	}
 	s.Relation("edge").Successors(b) // empty result still a lookup
-	if s.Counters.Lookups != 2 || s.Counters.Retrieved != 1 {
-		t.Fatalf("counters = %+v", s.Counters)
+	if s.Counters.Snapshot().Lookups != 2 || s.Counters.Snapshot().Retrieved != 1 {
+		t.Fatalf("counters = %+v", s.Counters.Snapshot())
 	}
 }
 

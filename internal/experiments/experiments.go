@@ -111,7 +111,7 @@ func runStrategy(strategy string, w *workload.SG, setup *sgSetup) (retrieved int
 	default:
 		panic("unknown strategy " + strategy)
 	}
-	return w.Store.Counters.Retrieved, answers
+	return w.Store.Counters.Snapshot().Retrieved, answers
 }
 
 // Table1 regenerates the Section 3 comparison table: the growth class of
@@ -167,7 +167,7 @@ func Fig7(w io.Writer, sizes []int) error {
 			if err != nil {
 				return err
 			}
-			tb.Add(s.Name, n, res.Iterations, res.Nodes, sg.Store.Counters.Retrieved, len(res.Answers))
+			tb.Add(s.Name, n, res.Iterations, res.Nodes, sg.Store.Counters.Snapshot().Retrieved, len(res.Answers))
 			work = append(work, float64(res.Nodes))
 		}
 		tb.Add(s.Name, "fit", "", metrics.Class(metrics.GrowthExponent(sizes, work)), "", "")
@@ -220,7 +220,7 @@ func Thm3(w io.Writer, sizes []int) error {
 		if err != nil {
 			return err
 		}
-		tb.Add(n, r.Iterations, r.Nodes, store.Counters.Retrieved)
+		tb.Add(n, r.Iterations, r.Nodes, store.Counters.Snapshot().Retrieved)
 		work = append(work, float64(r.Nodes))
 	}
 	tb.Add("fit", "", metrics.Class(metrics.GrowthExponent(sizes, work)), "")
@@ -346,7 +346,7 @@ func Sec4Flight(w io.Writer, airports, perAirport int) error {
 		if len(rows) != nChain {
 			return fmt.Errorf("answer mismatch: section4=%d seminaive=%d", nChain, len(rows))
 		}
-		tb.Add(junk, retChain, f.Store.Counters.Retrieved, nChain)
+		tb.Add(junk, retChain, f.Store.Counters.Snapshot().Retrieved, nChain)
 	}
 	fmt.Fprintln(w, tb.String())
 	fmt.Fprintln(w, "the bound query's work is independent of the irrelevant sub-network;")
@@ -380,7 +380,7 @@ func AblationHunt(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		tb.Add(50, junk, g.Stats.Arcs, r.Nodes, store.Counters.Retrieved)
+		tb.Add(50, junk, g.Stats.Arcs, r.Nodes, store.Counters.Snapshot().Retrieved)
 	}
 	fmt.Fprintln(w, tb.String())
 	fmt.Fprintln(w, "hunt arcs grow with irrelevant data; demand-driven work stays flat.")

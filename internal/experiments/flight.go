@@ -35,5 +35,5 @@ func runFlightChain(st *symtab.Table, f *workload.Flights, query string) (retrie
 	if err != nil {
 		return 0, 0, err
 	}
-	return f.Store.Counters.Retrieved, len(tr.DecodeAnswers(r.Answers)), nil
+	return f.Store.Counters.Snapshot().Retrieved, len(tr.DecodeAnswers(r.Answers)), nil
 }

@@ -14,7 +14,7 @@
 package hn
 
 import (
-	"sort"
+	"slices"
 
 	"chainlog/internal/chaineval"
 	"chainlog/internal/equations"
@@ -87,5 +87,5 @@ func Evaluate(shape equations.LinearShape, src chaineval.Source, a symtab.Sym, m
 }
 
 func sortSyms(s []symtab.Sym) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }

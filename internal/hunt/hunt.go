@@ -14,7 +14,7 @@
 package hunt
 
 import (
-	"sort"
+	"slices"
 
 	"chainlog/internal/automaton"
 	"chainlog/internal/edb"
@@ -67,7 +67,7 @@ func Build(e expr.Expr, store *edb.Store) *Graph {
 	for s := range domainSet {
 		domain = append(domain, s)
 	}
-	sort.Slice(domain, func(i, j int) bool { return domain[i] < domain[j] })
+	slices.Sort(domain)
 	g.Stats.DomainSize = len(domain)
 
 	nodes := make(map[node]bool)
@@ -130,6 +130,6 @@ func (g *Graph) Query(a symtab.Sym) (answers []symtab.Sym, visited int) {
 	for s := range out {
 		answers = append(answers, s)
 	}
-	sort.Slice(answers, func(i, j int) bool { return answers[i] < answers[j] })
+	slices.Sort(answers)
 	return answers, len(seen)
 }

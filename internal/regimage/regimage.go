@@ -10,7 +10,7 @@
 package regimage
 
 import (
-	"sort"
+	"slices"
 
 	"chainlog/internal/automaton"
 	"chainlog/internal/chaineval"
@@ -104,7 +104,7 @@ func (ev *Evaluator) Closure(starts []symtab.Sym) []symtab.Sym {
 	for s := range seen {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -113,6 +113,6 @@ func sortedSyms(set map[symtab.Sym]bool) []symtab.Sym {
 	for s := range set {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -11,7 +11,7 @@
 package rel
 
 import (
-	"sort"
+	"slices"
 
 	"chainlog/internal/expr"
 	"chainlog/internal/symtab"
@@ -82,11 +82,11 @@ func (r *Rel) Each(f func(u, v symtab.Sym)) {
 func (r *Rel) Pairs() [][2]symtab.Sym {
 	out := make([][2]symtab.Sym, 0, r.Len())
 	r.Each(func(u, v symtab.Sym) { out = append(out, [2]symtab.Sym{u, v}) })
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	slices.SortFunc(out, func(a, b [2]symtab.Sym) int {
+		if a[0] != b[0] {
+			return int(a[0]) - int(b[0])
 		}
-		return out[i][1] < out[j][1]
+		return int(a[1]) - int(b[1])
 	})
 	return out
 }
@@ -297,6 +297,6 @@ func sortedSyms(set map[symtab.Sym]bool) []symtab.Sym {
 	for s := range set {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Sym is an interned symbol. The zero value is reserved and never issued
@@ -28,6 +29,7 @@ const None Sym = 0
 // from many goroutines at once.
 type Table struct {
 	mu     sync.RWMutex
+	size   atomic.Int64 // len(names); read lock-free by Len
 	byName map[string]Sym
 	names  []string // names[i] is the text of Sym(i)
 
@@ -45,6 +47,7 @@ func NewTable() *Table {
 	}
 	t.names = append(t.names, "∅")
 	t.elems = append(t.elems, nil)
+	t.size.Store(1)
 	return t
 }
 
@@ -65,6 +68,7 @@ func (t *Table) Intern(name string) Sym {
 	t.byName[name] = s
 	t.names = append(t.names, name)
 	t.elems = append(t.elems, nil)
+	t.size.Store(int64(len(t.names)))
 	return s
 }
 
@@ -98,6 +102,7 @@ func (t *Table) InternTuple(elems []Sym) Sym {
 	copy(cp, elems)
 	t.names = append(t.names, "")
 	t.elems = append(t.elems, cp)
+	t.size.Store(int64(len(t.names)))
 	return s
 }
 
@@ -149,11 +154,12 @@ func (t *Table) name(s Sym) string {
 	return t.names[s]
 }
 
-// Len returns the number of interned symbols including the sentinel.
+// Len returns the number of interned symbols including the sentinel. It
+// is lock-free, so evaluators may size dense visited pages from it on hot
+// paths: because Syms are dense, Len is an exclusive upper bound on every
+// Sym issued so far.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.names)
+	return int(t.size.Load())
 }
 
 func tupleKey(elems []Sym) string {

@@ -58,6 +58,26 @@ type plan interface {
 	run(db *DB, args []symtab.Sym) (*Answer, error)
 }
 
+// streamPlan documents the contract of plans that can deliver answers as
+// raw interned symbols without materializing an Answer. runStream reports
+// false when the plan's current mode cannot stream (the caller then falls
+// back to the materializing path). RunSymsFunc dispatches on the concrete
+// types so the hot path stays allocation-free; this interface exists as a
+// compile-time check that they agree on the signature.
+type streamPlan interface {
+	runStream(db *DB, args []symtab.Sym, yield func(row []symtab.Sym)) (bool, error)
+}
+
+var (
+	_ streamPlan = (*directPlan)(nil)
+	_ streamPlan = (*section4Plan)(nil)
+)
+
+// rowBufPool recycles the one-column row buffers handed to RunSymsFunc
+// yields: the buffer is passed to a caller-supplied function, which
+// forces it to escape, so a stack array would heap-allocate per call.
+var rowBufPool = sync.Pool{New: func() any { return new([1]symtab.Sym) }}
+
 // Prepare compiles a parameterized query once, for many runs. The query
 // is a literal whose bound positions may be '?' placeholders, e.g.
 //
@@ -151,6 +171,13 @@ func (p *Prepared) RunSyms(args ...symtab.Sym) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.runMaterialized(pl, args)
+}
+
+// runMaterialized executes a plan and wraps the result in a full Answer
+// with retrieval statistics. The caller holds db.mu for reading.
+func (p *Prepared) runMaterialized(pl plan, args []symtab.Sym) (*Answer, error) {
+	db := p.db
 	before := db.store.CountersSnapshot()
 	ans, err := pl.run(db, args)
 	if err != nil {
@@ -167,6 +194,64 @@ func (p *Prepared) RunSyms(args ...symtab.Sym) (*Answer, error) {
 	}
 	sortRows(ans.Rows)
 	return ans, nil
+}
+
+// RunSymsFunc executes the prepared plan like RunSyms but streams each
+// answer row to yield as raw interned symbols instead of materializing
+// an Answer — the warm path for services that run one plan at high
+// rates. The row slice passed to yield is reused between calls; copy it
+// if retained. Rows arrive in ascending interned-symbol order for
+// directly streamed plans (answer-set order, deduplicated), and
+// evaluation statistics are not computed. Directly evaluated
+// binary-chain plans over regular equations perform zero heap
+// allocations per warm call; other routes transparently fall back to
+// the materializing path.
+//
+// yield runs while RunSymsFunc holds the DB's read lock: it must not
+// call back into the DB (Assert, LoadProgram, Query, another Run — any
+// of these can deadlock). Collect what you need and act after
+// RunSymsFunc returns.
+func (p *Prepared) RunSymsFunc(yield func(row []symtab.Sym), args ...symtab.Sym) error {
+	if len(args) != p.nparams {
+		return fmt.Errorf("chainlog: prepared query %s expects %d parameters, got %d", p, p.nparams, len(args))
+	}
+	db := p.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pl, err := p.planLocked()
+	if err != nil {
+		return err
+	}
+	// Dispatch on the concrete plan types rather than the streamPlan
+	// interface: the indirect call would force args and the row buffer
+	// to escape, costing the warm path its zero-allocation property.
+	switch v := pl.(type) {
+	case *directPlan:
+		if done, err := v.runStream(db, args, yield); done || err != nil {
+			return err
+		}
+	case *section4Plan:
+		if done, err := v.runStream(db, args, yield); done || err != nil {
+			return err
+		}
+	}
+	// Fallback: materialize and re-intern. Copy args so the streaming
+	// call above keeps its parameters on the caller's stack.
+	fb := make([]symtab.Sym, len(args))
+	copy(fb, args)
+	ans, err := p.runMaterialized(pl, fb)
+	if err != nil {
+		return err
+	}
+	var buf []symtab.Sym
+	for _, row := range ans.Rows {
+		buf = buf[:0]
+		for _, name := range row {
+			buf = append(buf, db.st.Intern(name))
+		}
+		yield(buf)
+	}
+	return nil
 }
 
 // planLocked returns the current plan, transparently recompiling it when
@@ -269,7 +354,15 @@ func (db *DB) buildChainPlan(tmpl ast.Query, opts Options) (plan, error) {
 	}
 	eng := chaineval.New(sys, tr.Source, db.engineOpts(opts))
 	eng.Precompile(tr.QueryPred)
-	pl := &section4Plan{tr: tr, eng: eng}
+	pl := &section4Plan{tr: tr, eng: eng, distinctVars: true}
+	seenVar := make(map[string]bool, len(tr.FreeVars))
+	for _, v := range tr.FreeVars {
+		if seenVar[v] {
+			pl.distinctVars = false
+			break
+		}
+		seenVar[v] = true
+	}
 	for _, a := range tmpl.Args {
 		if a.IsVar() {
 			continue
@@ -386,6 +479,24 @@ func (pl *directPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 	return nil, fmt.Errorf("chainlog: unsupported direct adornment %s", pl.mode)
 }
 
+// runStream streams bf/fb answers straight off the engine's pooled
+// traversal; ff enumerates all pairs and reports not-streamable.
+func (pl *directPlan) runStream(db *DB, args []symtab.Sym, yield func([]symtab.Sym)) (bool, error) {
+	buf := rowBufPool.Get().(*[1]symtab.Sym)
+	defer rowBufPool.Put(buf)
+	emit := func(v symtab.Sym) {
+		buf[0] = v
+		yield(buf[:])
+	}
+	switch pl.mode {
+	case "bf":
+		return true, pl.eng.QueryStream(pl.pred, bindOne(pl.bound, args), emit)
+	case "fb":
+		return true, pl.eng.QueryInverseStream(pl.pred, bindOne(pl.bound, args), emit)
+	}
+	return false, nil
+}
+
 // section4Plan evaluates via the n-ary → binary-chain transformation,
 // rebinding the t(c̄) start term per run.
 type section4Plan struct {
@@ -396,15 +507,51 @@ type section4Plan struct {
 	// their positions in boundTmpl.
 	boundTmpl []symtab.Sym
 	holePos   []int
+	// distinctVars is true when the query's free variables are pairwise
+	// distinct: decoded answer tuples are then distinct rows as-is, so
+	// the plan can stream without the collapse/dedupe pass.
+	distinctVars bool
 }
 
-func (pl *section4Plan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+// bindStart resolves the run's bound-argument vector to the interned
+// start term t(c̄).
+func (pl *section4Plan) bindStart(args []symtab.Sym) (symtab.Sym, error) {
 	bound := make([]symtab.Sym, len(pl.boundTmpl))
 	copy(bound, pl.boundTmpl)
 	for k, i := range pl.holePos {
 		bound[i] = args[k]
 	}
-	start, err := pl.tr.Bind(bound)
+	return pl.tr.Bind(bound)
+}
+
+// runStream streams decoded answer rows when the free variables are
+// pairwise distinct (tuple-term interning guarantees row uniqueness);
+// repeated variables need the materializing collapse/dedupe pass.
+func (pl *section4Plan) runStream(db *DB, args []symtab.Sym, yield func([]symtab.Sym)) (bool, error) {
+	if !pl.distinctVars {
+		return false, nil
+	}
+	start, err := pl.bindStart(args)
+	if err != nil {
+		return true, err
+	}
+	nvars := len(pl.tr.FreeVars)
+	var buf []symtab.Sym
+	err = pl.eng.QueryStream(pl.tr.QueryPred, start, func(s symtab.Sym) {
+		row := pl.tr.DecodeAnswer(s)
+		if len(row) == nvars {
+			// Copy out of the symbol table's interned tuple storage: the
+			// yielded row is documented as caller-overwritable scratch,
+			// and DecodeAnswer aliases memory that must stay immutable.
+			buf = append(buf[:0], row...)
+			yield(buf)
+		}
+	})
+	return true, err
+}
+
+func (pl *section4Plan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+	start, err := pl.bindStart(args)
 	if err != nil {
 		return nil, err
 	}

@@ -3,7 +3,7 @@ package chainlog
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"chainlog/internal/ast"
@@ -413,13 +413,12 @@ func dedupeRows(rows [][]symtab.Sym) [][]symtab.Sym {
 }
 
 func sortRows(rows [][]string) {
-	sort.Slice(rows, func(i, j int) bool {
-		a, b := rows[i], rows[j]
+	slices.SortFunc(rows, func(a, b []string) int {
 		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
+			if c := strings.Compare(a[k], b[k]); c != 0 {
+				return c
 			}
 		}
-		return len(a) < len(b)
+		return len(a) - len(b)
 	})
 }

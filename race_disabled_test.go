@@ -1,0 +1,7 @@
+//go:build !race
+
+package chainlog
+
+// raceEnabled reports that the race detector is active: its
+// instrumentation allocates, so zero-allocation assertions are skipped.
+const raceEnabled = false

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# bench.sh runs the benchmark suite and emits a machine-readable JSON
+# report (ns/op, B/op, allocs/op and custom metrics per benchmark), so
+# the perf trajectory is diffable across PRs: check the output in as
+# BENCH_<pr>.json.
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#
+# Environment:
+#   BENCH_PATTERN  benchmark regexp (default: the paper-table suites)
+#   BENCHTIME      go test -benchtime value (default 1s; CI smoke uses 10ms)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFig7|BenchmarkFig8|BenchmarkTheorem3|BenchmarkTheorem4|BenchmarkPrepared|BenchmarkFlight}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${1:-BENCH.json}"
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . \
+  | tee /dev/stderr \
+  | go run ./cmd/benchjson > "$OUT"
+echo "wrote $OUT" >&2
