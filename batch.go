@@ -1,0 +1,266 @@
+package chainlog
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"chainlog/internal/ast"
+	"chainlog/internal/chaineval"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+)
+
+// RunBatch executes the prepared plan for many parameter vectors at
+// once — one slice of constant names per '?' placeholder set, answers
+// returned in input order. Batching beats a loop of Run calls in two
+// ways: bindings on a regular (non-expanding) plan are evaluated as one
+// shared traversal whose overlapping reachable subgraphs are visited
+// once for the whole batch, and remaining bindings are deduplicated and
+// fanned out across Options.Parallelism workers.
+//
+// Statistics are aggregated per batch: every returned Answer carries the
+// same Stats describing the whole batch evaluation (per-binding
+// attribution is impossible once traversals share state).
+func (p *Prepared) RunBatch(argSets [][]string) ([]*Answer, error) {
+	syms := make([][]symtab.Sym, len(argSets))
+	for i, args := range argSets {
+		row := make([]symtab.Sym, len(args))
+		for j, a := range args {
+			row[j] = p.db.st.Intern(a)
+		}
+		syms[i] = row
+	}
+	return p.RunSymsBatch(syms)
+}
+
+// RunSymsBatch is RunBatch for pre-interned parameter vectors.
+func (p *Prepared) RunSymsBatch(argSets [][]symtab.Sym) ([]*Answer, error) {
+	for _, args := range argSets {
+		if len(args) != p.nparams {
+			return nil, fmt.Errorf("chainlog: prepared query %s expects %d parameters, got %d", p, p.nparams, len(args))
+		}
+	}
+	if len(argSets) == 0 {
+		return []*Answer{}, nil
+	}
+	db := p.db
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pl, err := p.planLocked()
+	if err != nil {
+		return nil, err
+	}
+
+	// Plans with a batch route evaluate the whole binding set in one
+	// engine call; one counter delta covers the batch.
+	before := db.store.CountersSnapshot()
+	var out []*Answer
+	switch v := pl.(type) {
+	case *directPlan:
+		out, err = v.runBatch(db, argSets)
+	case *section4Plan:
+		out, err = v.runBatch(db, argSets)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if out != nil {
+		after := db.store.CountersSnapshot()
+		for _, ans := range out {
+			ans.Stats.FactsConsulted = after.Retrieved - before.Retrieved
+			ans.Stats.Lookups = after.Lookups - before.Lookups
+			p.finishAnswer(ans)
+		}
+		return out, nil
+	}
+
+	// Generic route (ff queries, bottom-up and linear strategies): one
+	// materialized run per vector, fanned out across workers when the
+	// plan allows parallelism.
+	out = make([]*Answer, len(argSets))
+	errs := make([]error, len(argSets))
+	runOne := func(k int) {
+		out[k], errs[k] = p.runMaterialized(pl, argSets[k])
+	}
+	if W := min(p.batchWorkers(), len(argSets)); W > 1 {
+		var cursor atomic.Int64
+		chaineval.FanOut(W, func(int) {
+			for {
+				k := int(cursor.Add(1)) - 1
+				if k >= len(argSets) {
+					return
+				}
+				runOne(k)
+			}
+		})
+	} else {
+		for k := range argSets {
+			runOne(k)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// batchWorkers resolves Options.Parallelism for fanning a batch's
+// bindings out: 0/1 sequential, negative GOMAXPROCS, tracing sequential
+// (interleaved trace output would be unreadable).
+func (p *Prepared) batchWorkers() int {
+	w := p.opts.Parallelism
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if p.opts.Trace != nil {
+		return 1
+	}
+	return w
+}
+
+// finishAnswer applies the Answer post-processing runMaterialized does
+// for single runs: strategy stamp, variable names, boolean collapse and
+// row ordering.
+func (p *Prepared) finishAnswer(ans *Answer) {
+	ans.Stats.Strategy = p.opts.Strategy
+	ans.Vars = append([]string(nil), p.vars...)
+	if len(ans.Vars) == 0 {
+		ans.True = len(ans.Rows) > 0
+		ans.Rows = nil
+	}
+	sortRows(ans.Rows)
+}
+
+// runBatch evaluates a binding set through the engine's batch API for
+// bf/fb plans; (nil, nil) reports that this plan mode has no batch route
+// (ff enumerates the active domain regardless of parameters).
+func (pl *directPlan) runBatch(db *DB, argSets [][]symtab.Sym) ([]*Answer, error) {
+	if pl.mode != "bf" && pl.mode != "fb" {
+		return nil, nil
+	}
+	sources := make([]symtab.Sym, len(argSets))
+	for i, args := range argSets {
+		sources[i] = bindOne(pl.bound, args)
+	}
+	var answers [][]symtab.Sym
+	var res *chaineval.Result
+	var err error
+	if pl.mode == "bf" {
+		answers, res, err = pl.eng.QueryBatch(pl.pred, sources)
+	} else {
+		answers, res, err = pl.eng.QueryBatchInverse(pl.pred, sources)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := chainStats(res)
+	out := make([]*Answer, len(argSets))
+	for i := range argSets {
+		out[i] = db.symsAnswer(answers[i], st)
+	}
+	return out, nil
+}
+
+// runBatch evaluates a Section 4 binding set in one engine batch over
+// the transformed system's start terms, sharing visited tuple-term state
+// across bindings, then decodes per binding.
+func (pl *section4Plan) runBatch(db *DB, argSets [][]symtab.Sym) ([]*Answer, error) {
+	starts := make([]symtab.Sym, len(argSets))
+	for i, args := range argSets {
+		s, err := pl.bindStart(args)
+		if err != nil {
+			return nil, err
+		}
+		starts[i] = s
+	}
+	answers, res, err := pl.eng.QueryBatch(pl.tr.QueryPred, starts)
+	if err != nil {
+		return nil, err
+	}
+	st := chainStats(res)
+	out := make([]*Answer, len(argSets))
+	for i := range argSets {
+		rows := pl.tr.DecodeAnswers(answers[i])
+		out[i] = db.rowsAnswer(dedupeRows(rowsWithRepeatsCollapsed(rows, pl.tr.FreeVars)), st)
+	}
+	return out, nil
+}
+
+// QueryBatch parses and evaluates many queries at once with default
+// options, returning answers in input order. Queries sharing a template
+// (same predicate and binding pattern, constants abstracted) are grouped
+// onto one compiled plan and evaluated as a single batch — see
+// Prepared.RunBatch for how batched bindings share traversal state.
+func (db *DB) QueryBatch(queries []string) ([]*Answer, error) {
+	return db.QueryBatchOpts(queries, Options{})
+}
+
+// QueryBatchOpts is QueryBatch with explicit options.
+func (db *DB) QueryBatchOpts(queries []string, opts Options) ([]*Answer, error) {
+	type parsedQuery struct {
+		q    ast.Query
+		tmpl ast.Query
+		args []symtab.Sym
+	}
+	parsed := make([]parsedQuery, len(queries))
+	groups := make(map[planKey][]int)
+	var order []planKey
+	for i, text := range queries {
+		q, err := parser.ParseQuery(text, db.st)
+		if err != nil {
+			return nil, err
+		}
+		if q.IsBuiltin() {
+			return nil, fmt.Errorf("chainlog: query must be an ordinary literal")
+		}
+		tmpl, args := templateize(q)
+		parsed[i] = parsedQuery{q: q, tmpl: tmpl, args: args}
+		key := planKey{pred: tmpl.Pred, pattern: patternOf(tmpl), opts: keyOfOptions(opts)}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+
+	out := make([]*Answer, len(queries))
+	for _, key := range order {
+		idxs := groups[key]
+		tmpl := parsed[idxs[0]].tmpl
+		var p *Prepared
+		var built bool
+		var err error
+		if opts.Trace != nil {
+			// Tracing plans carry a caller-specific writer; never cache.
+			p, err = db.prepareQuery(tmpl, opts)
+			built = p != nil
+		} else {
+			p, built, err = db.cachedPrepared(tmpl, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		argSets := make([][]symtab.Sym, len(idxs))
+		for j, i := range idxs {
+			argSets[j] = parsed[i].args
+		}
+		answers, err := p.RunSymsBatch(argSets)
+		if err != nil {
+			return nil, err
+		}
+		if built {
+			// Charge plan compilation's store access to the group's first
+			// answer, preserving the one-shot Query accounting.
+			facts, lookups := p.CompileStats()
+			answers[0].Stats.FactsConsulted += facts
+			answers[0].Stats.Lookups += lookups
+		}
+		for j, i := range idxs {
+			answers[j].Vars = freeVars(parsed[i].q)
+			out[i] = answers[j]
+		}
+	}
+	return out, nil
+}

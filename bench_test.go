@@ -504,3 +504,109 @@ func BenchmarkAblationBindings(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkBatch contrasts the batch API with a loop of individual runs
+// on the same plan and bindings. The tc pair shows the shared-traversal
+// effect (regular equation: the whole batch is one condensed traversal);
+// the sg pair takes the per-distinct-binding route, whose win is
+// deduplication and worker fan-out.
+func BenchmarkBatch(b *testing.B) {
+	newTCDB := func(b *testing.B) (*Prepared, [][]string) {
+		b.Helper()
+		db := NewDB()
+		if err := db.LoadProgram("tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n"); err != nil {
+			b.Fatal(err)
+		}
+		store, _ := workload.Chain(db.SymTab(), 256)
+		db.SetStore(store)
+		p, err := db.Prepare("tc(?, Y)", Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var argSets [][]string
+		for _, s := range store.Relation("edge").Domain(0) {
+			argSets = append(argSets, []string{db.Name(s)})
+		}
+		return p, argSets
+	}
+	b.Run("tc-chain/runbatch", func(b *testing.B) {
+		p, argSets := newTCDB(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.RunBatch(argSets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tc-chain/run-loop", func(b *testing.B) {
+		p, argSets := newTCDB(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, args := range argSets {
+				if _, err := p.Run(args...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	newSGBatch := func(b *testing.B) (*Prepared, [][]string) {
+		b.Helper()
+		db := NewDB()
+		if err := db.LoadProgram(workload.SGProgram); err != nil {
+			b.Fatal(err)
+		}
+		w := workload.SampleC(db.SymTab(), 96)
+		db.SetStore(w.Store)
+		p, err := db.Prepare("sg(?, Y)", Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var argSets [][]string
+		for i := 0; i < 32; i++ {
+			argSets = append(argSets, []string{fmt.Sprintf("a%d", i+1)})
+		}
+		return p, argSets
+	}
+	b.Run("sg/runbatch", func(b *testing.B) {
+		p, argSets := newSGBatch(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.RunBatch(argSets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sg/run-loop", func(b *testing.B) {
+		p, argSets := newSGBatch(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, args := range argSets {
+				if _, err := p.Run(args...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkParallel measures Options.Parallelism on the largest
+// traversal workload (Figure 7 sample (b), n=256). par=1 is the
+// sequential engine; par=4 shards frontier levels across the worker
+// pool — on a single-core host the two are expected to be close (the
+// sequential fallback keeps small levels inline), with the gap opening
+// on multi-core hardware.
+func BenchmarkParallel(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("fig7-sampleB-256/par=%d", par), func(b *testing.B) {
+			sb := newSGBench(b, workload.SampleB, 256)
+			eng := chaineval.New(sb.sys, chaineval.StoreSource{Store: sb.w.Store}, chaineval.Options{Parallelism: par})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query("sg", sb.w.Query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -6,15 +6,30 @@
 // Every benchmark line becomes one record with the benchmark name (the
 // -cpus suffix stripped), the iteration count, and every reported
 // metric — ns/op, B/op, allocs/op and custom b.ReportMetric units such
-// as tuples/op or graphnodes.
+// as tuples/op or graphnodes. Runs made with `go test -count=N` emit N
+// records per benchmark; consumers average them by name.
+//
+// Compare mode is the CI benchmark-regression gate:
+//
+//	benchjson -compare BENCH_3.json fresh.json -metric ns/op -threshold 0.25 -pattern 'Fig7|Table1'
+//
+// It averages each file's records by benchmark name, diffs the selected
+// metric for every benchmark present in both files (filtered by
+// -pattern), prints a delta table, and exits nonzero when any benchmark
+// regressed by more than -threshold (a fraction: 0.25 = +25%).
+// -threshold 0 demands the metric not grow at all — useful for
+// deterministic metrics such as allocs/op.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,6 +50,29 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "baseline JSON file: compare mode diffs it against the second positional file (or -new)")
+	newFile := flag.String("new", "", "fresh JSON file for compare mode (alternative to the positional argument)")
+	metric := flag.String("metric", "ns/op", "metric to gate on in compare mode")
+	threshold := flag.Float64("threshold", 0.25, "maximum allowed fractional regression (0.25 = +25%)")
+	pattern := flag.String("pattern", "", "regexp restricting compared benchmark names (default: all)")
+	flag.Parse()
+
+	if *compare != "" {
+		fresh := *newFile
+		if fresh == "" {
+			if flag.NArg() != 1 {
+				fmt.Fprintln(os.Stderr, "benchjson: -compare needs the fresh report as -new or a positional argument")
+				os.Exit(2)
+			}
+			fresh = flag.Arg(0)
+		}
+		os.Exit(runCompare(*compare, fresh, *metric, *threshold, *pattern))
+	}
+	runEmit()
+}
+
+// runEmit is the original mode: bench output on stdin, JSON on stdout.
+func runEmit() {
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -59,6 +97,96 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare diffs the metric between two reports and returns the
+// process exit code: 0 clean, 1 regression past the threshold, 2 usage
+// or input error.
+func runCompare(basePath, freshPath, metric string, threshold float64, pattern string) int {
+	var re *regexp.Regexp
+	if pattern != "" {
+		var err error
+		if re, err = regexp.Compile(pattern); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -pattern:", err)
+			return 2
+		}
+	}
+	base, err := loadAverages(basePath, metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	fresh, err := loadAverages(freshPath, metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := fresh[name]; !ok {
+			continue
+		}
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks in common between", basePath, "and", freshPath)
+		return 2
+	}
+
+	regressions := 0
+	fmt.Printf("comparing %q (threshold +%.0f%%): %s -> %s\n", metric, threshold*100, basePath, freshPath)
+	for _, name := range names {
+		was, now := base[name], fresh[name]
+		var delta float64
+		if was != 0 {
+			delta = now/was - 1
+		} else if now != 0 {
+			delta = 1 // metric appeared from zero: treat as full regression
+		}
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-60s %14.1f -> %14.1f  %+7.1f%%  %s\n", name, was, now, delta*100, status)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% on %s\n", regressions, threshold*100, metric)
+		return 1
+	}
+	fmt.Printf("no regressions beyond +%.0f%% across %d benchmarks\n", threshold*100, len(names))
+	return 0
+}
+
+// loadAverages reads a report and averages the metric per benchmark
+// name, folding the duplicate records a -count run emits.
+func loadAverages(path, metric string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, b := range rep.Benchmarks {
+		if v, ok := b.Metrics[metric]; ok {
+			sums[b.Name] += v
+			counts[b.Name]++
+		}
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out, nil
 }
 
 // parseLine recognizes benchmark result lines:

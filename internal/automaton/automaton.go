@@ -50,6 +50,41 @@ func (l Label) String() string {
 	return l.Pred
 }
 
+// EdgeKind classifies a transition for the evaluator's hot loop, so the
+// per-node dispatch is a jump on a small int instead of string
+// comparisons and map lookups. IsID/Inv are derivable from the Label;
+// KindDerived requires knowledge of the equation system and is stamped
+// by Annotate.
+type EdgeKind uint8
+
+const (
+	// KindID is an identity (epsilon) transition.
+	KindID EdgeKind = iota
+	// KindBase is a forward traversal of a base predicate.
+	KindBase
+	// KindBaseInv is an inverse traversal of a base predicate.
+	KindBaseInv
+	// KindDerived marks a derived-predicate transition (a continuation
+	// point expanded by EM(p,i+1)); set by Annotate.
+	KindDerived
+)
+
+// NoAux is the Aux value of an unannotated edge: the evaluator falls
+// back to by-name source resolution when it sees it.
+const NoAux int32 = -1
+
+// kindOf computes the label-derivable classification (never KindDerived).
+func kindOf(l Label) EdgeKind {
+	switch {
+	case l.IsID():
+		return KindID
+	case l.Inv:
+		return KindBaseInv
+	default:
+		return KindBase
+	}
+}
+
 // Trans is one transition.
 type Trans struct {
 	From  int
@@ -58,24 +93,41 @@ type Trans struct {
 	// removed marks transitions deleted by EM expansion; they stay in the
 	// slice so transition IDs remain stable.
 	removed bool
+	// kind and aux mirror the per-state Edge annotation so AddCopy can
+	// preserve it when splicing automata.
+	kind EdgeKind
+	aux  int32
 }
 
-// edge is the flat per-state copy of a transition. Out iterates these
+// Edge is the flat per-state copy of a transition. Edges exposes these
 // directly — one contiguous slice per state, no per-ID indirection into
-// the trans table. The removed flag is mirrored by Remove.
-type edge struct {
+// the trans table — so evaluator inner loops iterate without a callback.
+// The removed flag is mirrored by Remove.
+type Edge struct {
 	id      int32
-	to      int32
-	label   Label
+	To      int32
 	removed bool
+	// Kind is the dispatch class (id / base / inverse-base / derived).
+	Kind EdgeKind
+	// Aux is a client annotation slot (the evaluator stores pre-resolved
+	// relation indexes here); NoAux when unannotated.
+	Aux   int32
+	Label Label
 }
+
+// ID returns the edge's stable transition ID.
+func (e *Edge) ID() int { return int(e.id) }
+
+// Removed reports whether the transition has been deleted; Edges callers
+// must skip removed entries.
+func (e *Edge) Removed() bool { return e.removed }
 
 // NFA is a mutable nondeterministic finite automaton with a single start
 // and a single final state.
 type NFA struct {
 	Start, Final int
 	trans        []Trans  // transition records by stable ID
-	out          [][]edge // state -> outgoing transitions, stored flat
+	out          [][]Edge // state -> outgoing transitions, stored flat
 }
 
 // NumStates returns the number of states.
@@ -105,12 +157,47 @@ func (m *NFA) addState() int {
 	return len(m.out) - 1
 }
 
-// AddTrans adds a transition and returns its ID.
+// AddTrans adds a transition and returns its ID. The edge's Kind is the
+// label-derivable class (never KindDerived) and its Aux starts at NoAux;
+// Annotate upgrades both once the equation system is known.
 func (m *NFA) AddTrans(from int, label Label, to int) int {
+	return m.addTransKA(from, label, to, kindOf(label), NoAux)
+}
+
+// addTransKA is AddTrans with an explicit kind/aux annotation; AddCopy
+// uses it to preserve the source automaton's annotation.
+func (m *NFA) addTransKA(from int, label Label, to int, kind EdgeKind, aux int32) int {
 	id := len(m.trans)
-	m.trans = append(m.trans, Trans{From: from, Label: label, To: to})
-	m.out[from] = append(m.out[from], edge{id: int32(id), to: int32(to), label: label})
+	m.trans = append(m.trans, Trans{From: from, Label: label, To: to, kind: kind, aux: aux})
+	m.out[from] = append(m.out[from], Edge{id: int32(id), To: int32(to), Label: label, Kind: kind, Aux: aux})
 	return id
+}
+
+// Annotate classifies every transition: derived(pred) marks derived-
+// predicate transitions (continuation points), and aux(pred) supplies the
+// client annotation stored on base-predicate edges (NoAux-returning aux
+// leaves them unresolved). Id transitions are left untouched. The
+// annotation survives AddCopy, Clone and CloneInto, so annotating each
+// compiled M(e_r) once annotates every EM(p,i) built from it.
+func (m *NFA) Annotate(derived func(pred string) bool, aux func(pred string) int32) {
+	for id := range m.trans {
+		t := &m.trans[id]
+		if t.Label.IsID() {
+			continue
+		}
+		if derived(t.Label.Pred) {
+			t.kind = KindDerived
+		} else if aux != nil {
+			t.aux = aux(t.Label.Pred)
+		}
+		es := m.out[t.From]
+		for i := range es {
+			if es[i].id == int32(id) {
+				es[i].Kind, es[i].Aux = t.kind, t.aux
+				break
+			}
+		}
+	}
 }
 
 // Remove deletes a transition by ID (IDs of other transitions are
@@ -136,10 +223,16 @@ func (m *NFA) Trans(id int) Trans { return m.trans[id] }
 func (m *NFA) Out(q int, f func(id int, t Trans)) {
 	for i := range m.out[q] {
 		if e := &m.out[q][i]; !e.removed {
-			f(int(e.id), Trans{From: q, Label: e.label, To: int(e.to)})
+			f(int(e.id), Trans{From: q, Label: e.Label, To: int(e.To)})
 		}
 	}
 }
+
+// Edges returns the outgoing edge slice of state q, aliasing internal
+// storage: callers must not mutate it and must skip entries whose
+// Removed() is true. It is the closure-free iteration surface for
+// evaluator hot loops.
+func (m *NFA) Edges(q int) []Edge { return m.out[q] }
 
 // OutIDs returns the IDs of live transitions leaving q.
 func (m *NFA) OutIDs(q int) []int {
@@ -171,7 +264,7 @@ func (m *NFA) AddCopy(sub *NFA) (start, final int) {
 	}
 	for _, t := range sub.trans {
 		if !t.removed {
-			m.AddTrans(t.From+offset, t.Label, t.To+offset)
+			m.addTransKA(t.From+offset, t.Label, t.To+offset, t.kind, t.aux)
 		}
 	}
 	return sub.Start + offset, sub.Final + offset
@@ -181,9 +274,9 @@ func (m *NFA) AddCopy(sub *NFA) (start, final int) {
 func (m *NFA) Clone() *NFA {
 	out := &NFA{Start: m.Start, Final: m.Final}
 	out.trans = append([]Trans(nil), m.trans...)
-	out.out = make([][]edge, len(m.out))
+	out.out = make([][]Edge, len(m.out))
 	for i, es := range m.out {
-		out.out[i] = append([]edge(nil), es...)
+		out.out[i] = append([]Edge(nil), es...)
 	}
 	return out
 }
@@ -197,7 +290,7 @@ func (m *NFA) CloneInto(dst *NFA) {
 	dst.trans = append(dst.trans[:0], m.trans...)
 	n := len(m.out)
 	if cap(dst.out) < n {
-		grown := make([][]edge, cap(dst.out), n*2)
+		grown := make([][]Edge, cap(dst.out), n*2)
 		copy(grown, dst.out[:cap(dst.out)])
 		dst.out = grown
 	}

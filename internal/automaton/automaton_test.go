@@ -307,3 +307,62 @@ func TestHornerExpressionSizes(t *testing.T) {
 		}
 	}
 }
+
+// TestAnnotatePreserved pins the edge-annotation contract: Annotate
+// stamps Kind/Aux on every live edge, and the annotation survives
+// AddCopy, Clone and CloneInto — so annotating each compiled M(e_r) once
+// is enough for every EM(p,i) spliced together from copies.
+func TestAnnotatePreserved(t *testing.T) {
+	m := Compile(expr.MustParse("up.sg.down U flat U up~"))
+	derived := map[string]bool{"sg": true}
+	aux := map[string]int32{"up": 0, "down": 1, "flat": 2}
+	m.Annotate(func(p string) bool { return derived[p] }, func(p string) int32 { return aux[p] })
+
+	check := func(t *testing.T, n *NFA) {
+		t.Helper()
+		seen := 0
+		for q := 0; q < n.NumStates(); q++ {
+			for i := range n.Edges(q) {
+				e := &n.Edges(q)[i]
+				if e.Removed() {
+					continue
+				}
+				seen++
+				switch {
+				case e.Label.IsID():
+					if e.Kind != KindID {
+						t.Fatalf("id edge has kind %d", e.Kind)
+					}
+				case derived[e.Label.Pred]:
+					if e.Kind != KindDerived {
+						t.Fatalf("edge %s not marked derived", e.Label)
+					}
+				case e.Label.Inv:
+					if e.Kind != KindBaseInv || e.Aux != aux[e.Label.Pred] {
+						t.Fatalf("edge %s kind=%d aux=%d", e.Label, e.Kind, e.Aux)
+					}
+				default:
+					if e.Kind != KindBase || e.Aux != aux[e.Label.Pred] {
+						t.Fatalf("edge %s kind=%d aux=%d", e.Label, e.Kind, e.Aux)
+					}
+				}
+			}
+		}
+		if seen == 0 {
+			t.Fatal("no live edges seen")
+		}
+	}
+	check(t, m)
+	check(t, m.Clone())
+
+	var dst NFA
+	m.CloneInto(&dst)
+	check(t, &dst)
+
+	// Splice an annotated copy into a fresh automaton, the EM expansion
+	// primitive, and re-check the copied region.
+	host := Compile(expr.MustParse("flat"))
+	host.Annotate(func(p string) bool { return derived[p] }, func(p string) int32 { return aux[p] })
+	host.AddCopy(m)
+	check(t, host)
+}

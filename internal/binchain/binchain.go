@@ -270,6 +270,17 @@ func (v *virtualSource) activeDomain() []symtab.Sym {
 // pages on demand.
 func (v *virtualSource) SymBound() int { return v.st.Len() }
 
+// ResolveRelation exposes the base store's relation for predicates the
+// transformation did not virtualize, letting the evaluator probe them
+// directly (see chaineval.RelationResolver). Virtual join relations
+// resolve to nil and keep the by-name evaluation path.
+func (v *virtualSource) ResolveRelation(pred string) *edb.Relation {
+	if _, ok := v.rels[pred]; ok {
+		return nil
+	}
+	return v.base.Relation(pred)
+}
+
 func (v *virtualSource) Successors(pred string, u symtab.Sym) []symtab.Sym {
 	r, ok := v.rels[pred]
 	if !ok {

@@ -27,15 +27,14 @@ package chaineval
 
 import (
 	"fmt"
-	"math/bits"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"chainlog/internal/automaton"
+	"chainlog/internal/edb"
 	"chainlog/internal/equations"
 	"chainlog/internal/expr"
-	"chainlog/internal/graph"
 	"chainlog/internal/symtab"
 )
 
@@ -74,6 +73,17 @@ type Options struct {
 	// equivalence tests can drive both. Production runs leave it false
 	// and the engine chooses by domain size.
 	SparseVisited bool
+	// Parallelism bounds the traversal worker pool: levels of the
+	// frontier whose size reaches parFrontierThreshold are sharded across
+	// up to this many workers (see parallel.go). 0 and 1 evaluate
+	// sequentially on the caller's goroutine — the default, preserving
+	// the zero-allocation warm path — and negative values use
+	// runtime.GOMAXPROCS(0). Parallel and sequential evaluation return
+	// identical answer sets and statistics; queries whose frontiers never
+	// reach the threshold run sequentially regardless of the setting.
+	// Tracing (Tracer != nil) forces sequential evaluation so event order
+	// stays deterministic.
+	Parallelism int
 	// Tracer, when non-nil, observes iterations, node insertions,
 	// expansions and answers as they happen.
 	Tracer Tracer
@@ -134,6 +144,16 @@ type Engine struct {
 	// regular caches IsRegularFor per predicate: the check walks the
 	// equation and allocates, and the per-run hot path must not.
 	regular atomic.Pointer[map[string]bool]
+	// rels is the pre-resolved extensional adjacency table, indexed by
+	// the Aux annotation stamped on automaton edges: base-predicate
+	// transitions resolve their relation once at compile time, so the
+	// traversal probes a concrete *edb.Relation with no string hashing.
+	// Copy-on-write like the caches above; relIdx maps predicate names to
+	// their index.
+	// Entries are never nil: predicates that cannot be resolved stay at
+	// NoAux on their edges and keep the by-name Source path.
+	rels   atomic.Pointer[[]*edb.Relation]
+	relIdx atomic.Pointer[map[string]int32]
 }
 
 // shapeAutomata is a cached LinearDecompose result with the automata of
@@ -152,7 +172,53 @@ func New(sys *equations.System, src Source, opts Options) *Engine {
 	e.shapes.Store(&shapes)
 	regular := make(map[string]bool)
 	e.regular.Store(&regular)
+	rels := []*edb.Relation{}
+	e.rels.Store(&rels)
+	relIdx := make(map[string]int32)
+	e.relIdx.Store(&relIdx)
 	return e
+}
+
+// relAuxLocked returns the adjacency-table index for pred, resolving and
+// appending on first use; NoAux when the source cannot resolve pred to a
+// concrete relation (virtual joins, not-yet-materialized predicates).
+// The caller must hold e.mu; publication is copy-on-write so traversals
+// load the table without locking.
+func (e *Engine) relAuxLocked(pred string) int32 {
+	if i, ok := (*e.relIdx.Load())[pred]; ok {
+		return i
+	}
+	rr, ok := e.src.(RelationResolver)
+	if !ok {
+		return automaton.NoAux
+	}
+	rel := rr.ResolveRelation(pred)
+	if rel == nil {
+		// Not cached: a relation materialized later (facts inserted after
+		// compilation) resolves on the next annotation pass.
+		return automaton.NoAux
+	}
+	cur := *e.rels.Load()
+	next := make([]*edb.Relation, len(cur)+1)
+	copy(next, cur)
+	i := int32(len(cur))
+	next[i] = rel
+	e.rels.Store(&next)
+	curIdx := *e.relIdx.Load()
+	nextIdx := make(map[string]int32, len(curIdx)+1)
+	for k, v := range curIdx {
+		nextIdx[k] = v
+	}
+	nextIdx[pred] = i
+	e.relIdx.Store(&nextIdx)
+	return i
+}
+
+// annotateLocked stamps edge kinds (derived-predicate continuation
+// points) and resolved-relation indexes on a freshly compiled automaton.
+// The caller must hold e.mu.
+func (e *Engine) annotateLocked(sys *equations.System, m *automaton.NFA) {
+	m.Annotate(func(p string) bool { return sys.Derived[p] }, e.relAuxLocked)
 }
 
 // Precompile compiles and caches the automaton M(e_p) of every equation
@@ -214,7 +280,7 @@ func (e *Engine) QueryStream(pred string, a symtab.Sym, yield func(symtab.Sym)) 
 	}
 	sc := acquireScratch()
 	defer releaseScratch(sc)
-	if err := e.runInto(e.sys, pred, a, sc); err != nil {
+	if err := e.runInto(e.sys, pred, a, sc, e.traversalWorkers()); err != nil {
 		return err
 	}
 	for _, v := range sc.answers {
@@ -243,7 +309,7 @@ func (e *Engine) QueryInverseStream(pred string, b symtab.Sym, yield func(symtab
 	}
 	sc := acquireScratch()
 	defer releaseScratch(sc)
-	if err := e.runInto(rev, pred, b, sc); err != nil {
+	if err := e.runInto(rev, pred, b, sc, e.traversalWorkers()); err != nil {
 		return err
 	}
 	for _, v := range sc.answers {
@@ -278,7 +344,18 @@ func (e *Engine) QueryAll(pred string, domain []symtab.Sym) ([][2]symtab.Sym, *R
 		return nil, nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
 	if e.regularFor(e.sys, pred) {
-		return e.allPairsRegular(pred, domain)
+		answers, res, err := e.batchRegular(e.sys, pred, domain)
+		if err != nil {
+			return nil, nil, err
+		}
+		var pairs [][2]symtab.Sym
+		for i, a := range domain {
+			for _, v := range answers[i] {
+				pairs = append(pairs, [2]symtab.Sym{a, v})
+			}
+		}
+		sortPairs(pairs)
+		return pairs, res, nil
 	}
 	var pairs [][2]symtab.Sym
 	agg := &Result{Converged: true}
@@ -310,9 +387,16 @@ type node struct {
 // run executes the traversal with pooled scratch and materializes a
 // Result for callers that need the statistics.
 func (e *Engine) run(sys *equations.System, pred string, a symtab.Sym) (*Result, error) {
+	return e.runWith(sys, pred, a, e.traversalWorkers())
+}
+
+// runWith is run with an explicit traversal worker count: batch
+// evaluation pins it to 1 when the batch itself is fanned out across
+// workers, so nested parallelism cannot oversubscribe the host.
+func (e *Engine) runWith(sys *equations.System, pred string, a symtab.Sym, workers int) (*Result, error) {
 	sc := acquireScratch()
 	defer releaseScratch(sc)
-	if err := e.runInto(sys, pred, a, sc); err != nil {
+	if err := e.runInto(sys, pred, a, sc, workers); err != nil {
 		return nil, err
 	}
 	res := new(Result)
@@ -322,11 +406,42 @@ func (e *Engine) run(sys *equations.System, pred string, a symtab.Sym) (*Result,
 	return res, nil
 }
 
+// probe resolves one base-predicate edge from term u: raw (uncounted)
+// adjacency through the resolved-relation table when the edge is
+// annotated — two array loads, statistics accumulated in counts — and
+// the by-name Source path otherwise (whose implementations count their
+// own probes). counts is the caller's accumulator (the run scratch's, or
+// a parallel worker's private one).
+func (e *Engine) probe(t *automaton.Edge, u symtab.Sym, rels []*edb.Relation, counts []probeCount) []symtab.Sym {
+	if t.Aux >= 0 {
+		var vs []symtab.Sym
+		if t.Kind == automaton.KindBaseInv {
+			vs = rels[t.Aux].PredecessorsRaw(u)
+		} else {
+			vs = rels[t.Aux].SuccessorsRaw(u)
+		}
+		c := &counts[t.Aux]
+		c.lookups++
+		c.retrieved += int64(len(vs))
+		return vs
+	}
+	if t.Kind == automaton.KindBaseInv {
+		return e.src.Predecessors(t.Label.Pred, u)
+	}
+	return e.src.Successors(t.Label.Pred, u)
+}
+
+// maxNodesErr is the interpretation-graph resource-bound error; one
+// constructor so the sequential and parallel paths report identically.
+func (e *Engine) maxNodesErr() error {
+	return fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
+}
+
 // runInto is the main program of Figure 4. It leaves the statistics in
 // sc.res and the sorted answer set in sc.answers; everything it touches
 // lives in sc, so a warm scratch makes the whole run allocation-free
 // until the automaton itself must grow (EM expansion).
-func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *runScratch) error {
+func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *runScratch, workers int) error {
 	em := e.compileFor(sys, pred)
 	if !e.regularFor(sys, pred) {
 		// EM(p,1) = copy of M(e_p); expansion will mutate it, so copy
@@ -339,10 +454,14 @@ func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *r
 	sc.res = Result{}
 	res := &sc.res
 
+	rels := *e.rels.Load()
+	sc.resetCounts(len(rels))
+	defer func() { flushCounts(*e.rels.Load(), sc.relCounts) }()
+
 	bound, sparse := e.visitedMode()
 	var iterBound int
 	if !e.opts.DisableCyclicGuard {
-		iterBound = e.cyclicBound(sys, pred, a, sc, bound, sparse)
+		iterBound = e.cyclicBound(sys, pred, a, sc, rels, bound, sparse)
 	}
 
 	G := &sc.G
@@ -373,22 +492,27 @@ func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *r
 	}
 	// traverse implements Figure 5 iteratively: it pops nodes, follows
 	// base and id transitions creating new nodes, and records
-	// continuation points at derived-predicate transitions.
+	// continuation points at derived-predicate transitions. The edge
+	// dispatch is a jump on the precomputed Kind — no string comparisons
+	// or map lookups — and base probes go through the resolved-relation
+	// table.
 	traverse := func() error {
 		for len(sc.stack) > 0 {
 			n := sc.stack[len(sc.stack)-1]
 			sc.stack = sc.stack[:len(sc.stack)-1]
-			var overflow, continued bool
-			em.Out(n.q, func(_ int, t automaton.Trans) {
-				if overflow {
-					return
+			continued := false
+			edges := em.Edges(n.q)
+			for i := range edges {
+				t := &edges[i]
+				if t.Removed() {
+					continue
 				}
-				switch {
-				case t.Label.IsID():
-					if !visit(node{t.To, n.u}) {
-						overflow = true
+				switch t.Kind {
+				case automaton.KindID:
+					if !visit(node{int(t.To), n.u}) {
+						return e.maxNodesErr()
 					}
-				case sys.Derived[t.Label.Pred]:
+				case automaton.KindDerived:
 					// Each node is popped exactly once, so appending on
 					// the first derived transition keeps sc.cont
 					// duplicate-free without a set.
@@ -397,22 +521,13 @@ func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *r
 						sc.cont = append(sc.cont, n)
 					}
 				default:
-					var vs []symtab.Sym
-					if t.Label.Inv {
-						vs = e.src.Predecessors(t.Label.Pred, n.u)
-					} else {
-						vs = e.src.Successors(t.Label.Pred, n.u)
-					}
-					for _, v := range vs {
-						if !visit(node{t.To, v}) {
-							overflow = true
-							return
+					to := int(t.To)
+					for _, v := range e.probe(t, n.u, rels, sc.relCounts) {
+						if !visit(node{to, v}) {
+							return e.maxNodesErr()
 						}
 					}
 				}
-			})
-			if overflow {
-				return fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
 			}
 		}
 		return nil
@@ -425,13 +540,26 @@ func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *r
 		}
 		sc.cont = sc.cont[:0]
 		prevAnswers := len(sc.answers)
-		for _, n := range sc.starts {
-			if !G.has(n.q, n.u) {
-				if !visit(n) {
-					return fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
+		if workers > 1 {
+			// Parallel mode: seed every fresh start node, then drain the
+			// traversal level-synchronously with sharded large levels.
+			for _, n := range sc.starts {
+				if !G.has(n.q, n.u) && !visit(n) {
+					return e.maxNodesErr()
 				}
-				if err := traverse(); err != nil {
-					return err
+			}
+			if err := e.traverseParallel(em, sc, rels, workers, bound, sparse, visit); err != nil {
+				return err
+			}
+		} else {
+			for _, n := range sc.starts {
+				if !G.has(n.q, n.u) {
+					if !visit(n) {
+						return e.maxNodesErr()
+					}
+					if err := traverse(); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -483,6 +611,13 @@ func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *r
 				}
 			}
 		}
+		// Compiling an expansion body may have resolved relations that
+		// were not in the table when the run began; pick them up so the
+		// spliced copy's annotated edges index in bounds.
+		if cur := *e.rels.Load(); len(cur) != len(rels) {
+			rels = cur
+			sc.growCounts(len(rels))
+		}
 	}
 
 	res.Nodes = G.count
@@ -516,6 +651,7 @@ func (e *Engine) compileFor(sys *equations.System, pred string) *automaton.NFA {
 		return m
 	}
 	m := automaton.Compile(sys.Eq[pred])
+	e.annotateLocked(sys, m)
 	next := make(map[string]*automaton.NFA, len(cur)+1)
 	for k, v := range cur {
 		next[k] = v
@@ -568,6 +704,9 @@ func (e *Engine) shapeFor(sys *equations.System, pred string) *shapeAutomata {
 		s.e0 = automaton.Compile(shape.E0)
 		s.e1 = automaton.Compile(shape.E1)
 		s.e2 = automaton.Compile(shape.E2)
+		e.annotateLocked(sys, s.e0)
+		e.annotateLocked(sys, s.e1)
+		e.annotateLocked(sys, s.e2)
 	}
 	next := make(map[string]*shapeAutomata, len(cur)+1)
 	for k, v := range cur {
@@ -642,18 +781,24 @@ func reverseExpr(ex expr.Expr, derived map[string]bool) expr.Expr {
 // nodes accessible via e2 from the e0-images of those (the paper's D1 and
 // D2 sets). Returns 0 when the shape does not apply. All working sets
 // come from sc, so warm calls allocate nothing.
-func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym, sc *runScratch, bound int, sparse bool) int {
+func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym, sc *runScratch, rels []*edb.Relation, bound int, sparse bool) int {
 	sh := e.shapeFor(sys, pred)
 	if !sh.ok {
 		return 0
 	}
+	// shapeFor may have just resolved relations the part automata refer
+	// to; reload so their annotated edges index in bounds.
+	if cur := *e.rels.Load(); len(cur) != len(rels) {
+		rels = cur
+		sc.growCounts(len(rels))
+	}
 	sc.d1 = append(sc.d1[:0], a)
-	sc.d1 = e.closure(sh.e1, sc.d1, sc, bound, sparse)
+	sc.d1 = e.closure(sh.e1, sc.d1, sc, rels, bound, sparse)
 	sc.d2 = sc.d2[:0]
 	for _, s := range sc.d1 {
-		sc.d2 = e.regularImage(sh.e0, s, sc.d2, sc, bound, sparse)
+		sc.d2 = e.regularImage(sh.e0, s, sc.d2, sc, rels, bound, sparse)
 	}
-	sc.d2 = e.closure(sh.e2, sc.d2, sc, bound, sparse)
+	sc.d2 = e.closure(sh.e2, sc.d2, sc, rels, bound, sparse)
 	m, n := len(sc.d1), len(sc.d2)
 	if m == 0 {
 		m = 1
@@ -668,7 +813,7 @@ func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym, s
 // reachable from them by zero or more applications of the relation
 // denoted by the compiled automaton m. dst doubles as the worklist; the
 // deduplicated closure (seeds included) is returned in place.
-func (e *Engine) closure(m *automaton.NFA, dst []symtab.Sym, sc *runScratch, bound int, sparse bool) []symtab.Sym {
+func (e *Engine) closure(m *automaton.NFA, dst []symtab.Sym, sc *runScratch, rels []*edb.Relation, bound int, sparse bool) []symtab.Sym {
 	sc.terms.reset(bound, sparse)
 	n := 0
 	for _, s := range dst {
@@ -679,7 +824,7 @@ func (e *Engine) closure(m *automaton.NFA, dst []symtab.Sym, sc *runScratch, bou
 	}
 	dst = dst[:n]
 	for i := 0; i < len(dst); i++ {
-		sc.img = e.regularImage(m, dst[i], sc.img[:0], sc, bound, sparse)
+		sc.img = e.regularImage(m, dst[i], sc.img[:0], sc, rels, bound, sparse)
 		for _, v := range sc.img {
 			if sc.terms.add(v) {
 				dst = append(dst, v)
@@ -693,7 +838,7 @@ func (e *Engine) closure(m *automaton.NFA, dst []symtab.Sym, sc *runScratch, bou
 // single-iteration traversal of the derived-free automaton m from u.
 // Node-level deduplication (sc.rG) guarantees each image term is
 // appended at most once.
-func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym, out []symtab.Sym, sc *runScratch, bound int, sparse bool) []symtab.Sym {
+func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym, out []symtab.Sym, sc *runScratch, rels []*edb.Relation, bound int, sparse bool) []symtab.Sym {
 	sc.rG.reset(bound, sparse)
 	sc.rStack = append(sc.rStack[:0], node{m.Start, u})
 	sc.rG.visit(m.Start, u)
@@ -703,230 +848,32 @@ func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym, out []symtab.Sym, 
 	for len(sc.rStack) > 0 {
 		n := sc.rStack[len(sc.rStack)-1]
 		sc.rStack = sc.rStack[:len(sc.rStack)-1]
-		m.Out(n.q, func(_ int, t automaton.Trans) {
-			var vs []symtab.Sym
-			switch {
-			case t.Label.IsID():
-				if sc.rG.visit(t.To, n.u) {
-					sc.rStack = append(sc.rStack, node{t.To, n.u})
-					if t.To == m.Final {
+		edges := m.Edges(n.q)
+		for i := range edges {
+			t := &edges[i]
+			if t.Removed() {
+				continue
+			}
+			if t.Kind == automaton.KindID {
+				if sc.rG.visit(int(t.To), n.u) {
+					sc.rStack = append(sc.rStack, node{int(t.To), n.u})
+					if int(t.To) == m.Final {
 						out = append(out, n.u)
 					}
 				}
-				return
-			case t.Label.Inv:
-				vs = e.src.Predecessors(t.Label.Pred, n.u)
-			default:
-				vs = e.src.Successors(t.Label.Pred, n.u)
+				continue
 			}
-			for _, v := range vs {
-				if sc.rG.visit(t.To, v) {
-					sc.rStack = append(sc.rStack, node{t.To, v})
-					if t.To == m.Final {
+			for _, v := range e.probe(t, n.u, rels, sc.relCounts) {
+				if sc.rG.visit(int(t.To), v) {
+					sc.rStack = append(sc.rStack, node{int(t.To), v})
+					if int(t.To) == m.Final {
 						out = append(out, v)
 					}
 				}
 			}
-		})
+		}
 	}
 	return out
-}
-
-// allPairsRegular evaluates p(X,Y) for all sources at once in the regular
-// case. It constructs the interpretation graph over all sources, condenses
-// it with Tarjan's algorithm, and propagates final-state term sets over
-// the condensation in reverse topological order, so subgraphs shared
-// between sources are traversed once (the optimization the paper
-// attributes to [19, 21]).
-//
-// Node interning uses dense per-state id pages when the Sym domain is
-// small enough, and the reachable-term sets propagate as bitsets with
-// word-level unions when their total size is affordable; both fall back
-// to the map representation otherwise.
-func (e *Engine) allPairsRegular(pred string, domain []symtab.Sym) ([][2]symtab.Sym, *Result, error) {
-	m := e.compileFor(e.sys, pred)
-	res := &Result{Iterations: 1, Converged: true}
-	bound, sparse := e.visitedMode()
-
-	// allPairsDenseLimit bounds the per-page id memory, and the
-	// states × bound product caps the total (1<<24 int32s = 64 MiB):
-	// one int32 page per visited automaton state.
-	const allPairsDenseLimit = 1 << 19
-
-	var nodes []node
-	g := graph.New(0)
-	var intern func(n node) (int, bool)
-	if sparse || bound > allPairsDenseLimit || m.NumStates()*bound > 1<<24 {
-		ids := make(map[node]int32)
-		intern = func(n node) (int, bool) {
-			if id, ok := ids[n]; ok {
-				return int(id), false
-			}
-			id := g.AddNode()
-			ids[n] = int32(id)
-			nodes = append(nodes, n)
-			return id, true
-		}
-	} else {
-		pages := make([][]int32, m.NumStates())
-		intern = func(n node) (int, bool) {
-			p := pages[n.q]
-			if p == nil {
-				p = make([]int32, max(bound, int(n.u)+1))
-				for i := range p {
-					p[i] = -1
-				}
-				pages[n.q] = p
-			} else if int(n.u) >= len(p) {
-				np := make([]int32, max(int(n.u)+1, 2*len(p)))
-				copy(np, p)
-				for i := len(p); i < len(np); i++ {
-					np[i] = -1
-				}
-				p = np
-				pages[n.q] = p
-			}
-			if id := p[n.u]; id >= 0 {
-				return int(id), false
-			}
-			id := g.AddNode()
-			p[n.u] = int32(id)
-			nodes = append(nodes, n)
-			return id, true
-		}
-	}
-
-	var stack []int
-	sources := make([]int, len(domain))
-	for i, a := range domain {
-		id, fresh := intern(node{m.Start, a})
-		if fresh {
-			stack = append(stack, id)
-		}
-		sources[i] = id
-	}
-	for len(stack) > 0 {
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n := nodes[id]
-		m.Out(n.q, func(_ int, t automaton.Trans) {
-			var vs []symtab.Sym
-			switch {
-			case t.Label.IsID():
-				vs = []symtab.Sym{n.u}
-			case t.Label.Inv:
-				vs = e.src.Predecessors(t.Label.Pred, n.u)
-			default:
-				vs = e.src.Successors(t.Label.Pred, n.u)
-			}
-			for _, v := range vs {
-				nid, fresh := intern(node{t.To, v})
-				if fresh {
-					stack = append(stack, nid)
-				}
-				g.AddEdge(id, nid)
-			}
-		})
-	}
-	res.Nodes = len(nodes)
-	if e.opts.MaxNodes > 0 && res.Nodes > e.opts.MaxNodes {
-		return nil, nil, fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
-	}
-
-	// Condense and propagate final-state terms bottom-up. Tarjan numbers
-	// components in reverse topological order: successors of c have
-	// smaller indices, so processing components in increasing index order
-	// has successor sets ready.
-	dag, comp := g.Condense()
-	ncomp := dag.Len()
-
-	var pairs [][2]symtab.Sym
-	words := (bound + 63) / 64
-	// reachWordBudget caps the dense propagation memory (in 8-byte
-	// words) before falling back to sparse sets.
-	const reachWordBudget = 1 << 24
-	if !sparse && bound > 0 && ncomp*words <= reachWordBudget {
-		reach := make([][]uint64, ncomp)
-		set := func(b []uint64, u symtab.Sym) []uint64 {
-			w := int(u) >> 6
-			if w >= len(b) {
-				nb := make([]uint64, w+1)
-				copy(nb, b)
-				b = nb
-			}
-			b[w] |= uint64(1) << (uint(u) & 63)
-			return b
-		}
-		for id, n := range nodes {
-			if n.q == m.Final {
-				c := comp[id]
-				if reach[c] == nil {
-					reach[c] = make([]uint64, words)
-				}
-				reach[c] = set(reach[c], n.u)
-			}
-		}
-		for c := 0; c < ncomp; c++ {
-			for _, d := range dag.Succ(c) {
-				src := reach[d]
-				if len(src) == 0 {
-					continue
-				}
-				if reach[c] == nil {
-					reach[c] = make([]uint64, max(words, len(src)))
-				} else if len(src) > len(reach[c]) {
-					nb := make([]uint64, len(src))
-					copy(nb, reach[c])
-					reach[c] = nb
-				}
-				dst := reach[c]
-				for w, x := range src {
-					dst[w] |= x
-				}
-			}
-		}
-		for i, a := range domain {
-			b := reach[comp[sources[i]]]
-			for w, x := range b {
-				for x != 0 {
-					u := symtab.Sym(w<<6 + bits.TrailingZeros64(x))
-					pairs = append(pairs, [2]symtab.Sym{a, u})
-					x &= x - 1
-				}
-			}
-		}
-	} else {
-		own := make([]map[symtab.Sym]bool, ncomp)
-		for id, n := range nodes {
-			if n.q == m.Final {
-				c := comp[id]
-				if own[c] == nil {
-					own[c] = make(map[symtab.Sym]bool)
-				}
-				own[c][n.u] = true
-			}
-		}
-		reach := make([]map[symtab.Sym]bool, ncomp)
-		for c := 0; c < ncomp; c++ {
-			set := make(map[symtab.Sym]bool)
-			for t := range own[c] {
-				set[t] = true
-			}
-			for _, d := range dag.Succ(c) {
-				for t := range reach[d] {
-					set[t] = true
-				}
-			}
-			reach[c] = set
-		}
-		for i, a := range domain {
-			for t := range reach[comp[sources[i]]] {
-				pairs = append(pairs, [2]symtab.Sym{a, t})
-			}
-		}
-	}
-	sortPairs(pairs)
-	return pairs, res, nil
 }
 
 func sortPairs(pairs [][2]symtab.Sym) {

@@ -1,0 +1,310 @@
+// Parallel sharded traversal: when Options.Parallelism allows it, the
+// evaluator advances the interpretation graph level-synchronously and
+// shards large frontier levels across a bounded worker pool.
+//
+// Within one level the global visited set G is frozen: workers only read
+// it, recording newly generated nodes in private dense bitset pages (the
+// same visitedSet structure the sequential path uses), so the inner loop
+// takes no locks and issues no atomics. Workers claim chunks of the
+// frontier from an atomic cursor, which rebalances skewed out-degrees
+// without per-node synchronization. At the level boundary the main
+// goroutine merges each worker's pages into G word by word — one AND-NOT
+// plus OR per 64 symbols — and the surviving new bits become the next
+// frontier, answers and continuation points. Cross-worker duplicates die
+// in the merge; every node is still processed exactly once, so parallel
+// and sequential evaluation perform the same probes and return identical
+// answer sets and statistics.
+//
+// Levels below parFrontierThreshold run inline on the calling goroutine:
+// sharding a dozen nodes costs more than it saves, and selective queries
+// keep their sequential, allocation-free behavior.
+package chaineval
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"chainlog/internal/automaton"
+	"chainlog/internal/edb"
+	"chainlog/internal/symtab"
+)
+
+// parFrontierThreshold is the frontier size at which a level is sharded
+// across workers instead of processed inline. A variable (not a const)
+// so equivalence tests can force sharding on small graphs.
+var parFrontierThreshold = 128
+
+// parChunkMin is the smallest frontier chunk a worker claims; small
+// chunks rebalance skew, large ones amortize the cursor increment.
+const parChunkMin = 16
+
+// traversalWorkers resolves Options.Parallelism to a worker count for
+// this run: 0/1 sequential, negative GOMAXPROCS, and tracing forces
+// sequential so event order stays deterministic.
+func (e *Engine) traversalWorkers() int {
+	p := e.opts.Parallelism
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > 1 && e.opts.Tracer != nil {
+		return 1
+	}
+	return p
+}
+
+// parWorker is one worker's private state for a single sharded level.
+type parWorker struct {
+	// seen holds the nodes this worker generated this level (minus those
+	// already in the frozen global set): dense bitset pages with
+	// dirty-word tracking, exactly the visited-set layout, so the merge
+	// can walk written words directly.
+	seen visitedSet
+	// cont collects continuation points discovered this level.
+	cont []node
+	// counts accumulates raw-probe statistics, merged into the run's
+	// accumulator at the level boundary.
+	counts []probeCount
+}
+
+// prepare readies a pooled worker for a level over nrels resolved
+// relations; warm workers reuse their page and buffer capacity.
+func (pw *parWorker) prepare(nrels, bound int, sparse bool) {
+	pw.seen.reset(bound, sparse)
+	pw.cont = pw.cont[:0]
+	if cap(pw.counts) < nrels {
+		pw.counts = make([]probeCount, nrels)
+	} else {
+		pw.counts = pw.counts[:nrels]
+		clear(pw.counts)
+	}
+}
+
+var parWorkerPool = sync.Pool{New: func() any { return new(parWorker) }}
+
+// FanOut runs f(0) … f(W-1) concurrently — f(0) on the calling
+// goroutine — and returns when all have finished. It is the shared
+// shape of every worker fan-out in the evaluator and the public batch
+// layer; callers distribute work inside f (typically by claiming chunks
+// from an atomic cursor).
+func FanOut(W int, f func(w int)) {
+	var wg sync.WaitGroup
+	for i := 1; i < W; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	f(0)
+	wg.Wait()
+}
+
+// traverseParallel drains the traversal seeded on sc.stack level by
+// level, sharding levels of at least parFrontierThreshold nodes across
+// the worker pool. It is the parallel counterpart of runInto's traverse:
+// same visited set, same continuation collection, same MaxNodes error.
+func (e *Engine) traverseParallel(em *automaton.NFA, sc *runScratch, rels []*edb.Relation, workers, bound int, sparse bool, visit func(node) bool) error {
+	for len(sc.stack) > 0 {
+		// The stack holds the current level's nodes (pushed by visit);
+		// swap it out so visit can accumulate the next level.
+		sc.frontier, sc.stack = sc.stack, sc.frontier[:0]
+		W := workers
+		if byChunk := (len(sc.frontier) + parChunkMin - 1) / parChunkMin; W > byChunk {
+			W = byChunk
+		}
+		if len(sc.frontier) < parFrontierThreshold || W <= 1 {
+			if err := e.processLevel(em, sc, rels, visit); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := e.processLevelParallel(em, sc, rels, W, bound, sparse, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// processLevel advances one small level inline: the sequential edge
+// dispatch over every frontier node, with visit accumulating the next
+// level on sc.stack.
+func (e *Engine) processLevel(em *automaton.NFA, sc *runScratch, rels []*edb.Relation, visit func(node) bool) error {
+	for _, n := range sc.frontier {
+		continued := false
+		edges := em.Edges(n.q)
+		for i := range edges {
+			t := &edges[i]
+			if t.Removed() {
+				continue
+			}
+			switch t.Kind {
+			case automaton.KindID:
+				if !visit(node{int(t.To), n.u}) {
+					return e.maxNodesErr()
+				}
+			case automaton.KindDerived:
+				if !continued {
+					continued = true
+					sc.cont = append(sc.cont, n)
+				}
+			default:
+				to := int(t.To)
+				for _, v := range e.probe(t, n.u, rels, sc.relCounts) {
+					if !visit(node{to, v}) {
+						return e.maxNodesErr()
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// processLevelParallel shards one level across W workers (the calling
+// goroutine is worker zero) and merges their results into the global
+// traversal state.
+func (e *Engine) processLevelParallel(em *automaton.NFA, sc *runScratch, rels []*edb.Relation, W, bound int, sparse bool, visit func(node) bool) error {
+	if cap(sc.workers) < W {
+		sc.workers = make([]*parWorker, W)
+	}
+	ws := sc.workers[:W]
+	for i := range ws {
+		ws[i] = parWorkerPool.Get().(*parWorker)
+		ws[i].prepare(len(rels), bound, sparse)
+	}
+
+	frontier := sc.frontier
+	chunk := len(frontier) / (4 * W)
+	if chunk < parChunkMin {
+		chunk = parChunkMin
+	}
+	var cursor atomic.Int64
+	work := func(pw *parWorker) {
+		for {
+			c := int(cursor.Add(1)) - 1
+			lo := c * chunk
+			if lo >= len(frontier) {
+				return
+			}
+			hi := min(lo+chunk, len(frontier))
+			for _, n := range frontier[lo:hi] {
+				e.processNodeShard(em, n, rels, pw, &sc.G)
+			}
+		}
+	}
+	FanOut(W, func(w int) { work(ws[w]) })
+
+	var err error
+	for _, pw := range ws {
+		if err == nil {
+			err = e.mergeWorker(em, sc, pw, visit)
+		}
+		parWorkerPool.Put(pw)
+	}
+	return err
+}
+
+// processNodeShard is the worker-side edge dispatch for one node: reads
+// of the frozen global set filter known nodes, everything newly
+// generated lands in the worker's private pages. No locks, no atomics.
+func (e *Engine) processNodeShard(em *automaton.NFA, n node, rels []*edb.Relation, pw *parWorker, G *visitedSet) {
+	continued := false
+	edges := em.Edges(n.q)
+	for i := range edges {
+		t := &edges[i]
+		if t.Removed() {
+			continue
+		}
+		switch t.Kind {
+		case automaton.KindID:
+			if !G.has(int(t.To), n.u) {
+				pw.seen.visit(int(t.To), n.u)
+			}
+		case automaton.KindDerived:
+			// The node is processed by exactly one worker in exactly one
+			// level, so this keeps the merged continuation list
+			// duplicate-free, like the sequential pop-once argument.
+			if !continued {
+				continued = true
+				pw.cont = append(pw.cont, n)
+			}
+		default:
+			to := int(t.To)
+			for _, v := range e.probe(t, n.u, rels, pw.counts) {
+				if !G.has(to, v) {
+					pw.seen.visit(to, v)
+				}
+			}
+		}
+	}
+}
+
+// mergeWorker folds one worker's level results into the global state:
+// continuation points and probe statistics append directly; the private
+// pages merge into G word by word, and bits that survive the AND-NOT
+// against G (first worker to generate a node wins, duplicates die here)
+// become graph nodes, answers and next-level frontier entries.
+func (e *Engine) mergeWorker(em *automaton.NFA, sc *runScratch, pw *parWorker, visit func(node) bool) error {
+	sc.cont = append(sc.cont, pw.cont...)
+	sc.growCounts(len(pw.counts))
+	for i := range pw.counts {
+		sc.relCounts[i].lookups += pw.counts[i].lookups
+		sc.relCounts[i].retrieved += pw.counts[i].retrieved
+	}
+
+	G := &sc.G
+	if pw.seen.m != nil {
+		// Worker ran sparse (forced, huge domain, or budget migration):
+		// merge node by node through the standard insertion step.
+		for n := range pw.seen.m {
+			if !visit(n) {
+				return e.maxNodesErr()
+			}
+		}
+		return nil
+	}
+	for _, d := range pw.seen.dirty {
+		q, w := int(d.q), int(d.w)
+		wordBits := pw.seen.pages[q][w]
+		if wordBits == 0 {
+			continue
+		}
+		base := symtab.Sym(w << 6)
+		gp := []uint64(nil)
+		if G.m == nil {
+			gp = G.pageForMerge(q, w)
+		}
+		if gp == nil {
+			// G is (or just became) sparse; insert node by node.
+			for x := wordBits; x != 0; x &= x - 1 {
+				if !visit(node{q, base + symtab.Sym(bits.TrailingZeros64(x))}) {
+					return e.maxNodesErr()
+				}
+			}
+			continue
+		}
+		neu := wordBits &^ gp[w]
+		if neu == 0 {
+			continue
+		}
+		if gp[w] == 0 {
+			G.dirty = append(G.dirty, dirtyWord{int32(q), int32(w)})
+		}
+		gp[w] |= neu
+		G.count += bits.OnesCount64(neu)
+		isFinal := q == em.Final
+		for x := neu; x != 0; x &= x - 1 {
+			u := base + symtab.Sym(bits.TrailingZeros64(x))
+			if isFinal {
+				sc.answers = append(sc.answers, u)
+			}
+			sc.stack = append(sc.stack, node{q, u})
+		}
+		if e.opts.MaxNodes != 0 && G.count > e.opts.MaxNodes {
+			return e.maxNodesErr()
+		}
+	}
+	return nil
+}

@@ -14,9 +14,29 @@ type SymBounder interface {
 	SymBound() int
 }
 
+// RelationResolver is an optional Source extension: ResolveRelation
+// returns the concrete extensional relation behind pred, or nil when the
+// predicate is computed (e.g. the Section 4 transformation's virtual
+// join relations) or not yet materialized. The engine resolves each base
+// predicate once at automaton-annotation time and probes the returned
+// relation through its raw (uncounted) adjacency accessors, batching the
+// retrieval statistics per run — the hot path then performs no string
+// hashing and no per-probe atomics. Predicates that resolve to nil keep
+// the by-name Successors/Predecessors path, whose implementations count
+// their own probes.
+type RelationResolver interface {
+	ResolveRelation(pred string) *edb.Relation
+}
+
 // StoreSource adapts an extensional store to the Source interface.
 type StoreSource struct {
 	Store *edb.Store
+}
+
+// ResolveRelation exposes the store's relation for direct adjacency
+// probes (see RelationResolver).
+func (s StoreSource) ResolveRelation(pred string) *edb.Relation {
+	return s.Store.Relation(pred)
 }
 
 // Successors returns all v with pred(u, v) in the store.

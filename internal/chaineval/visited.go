@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"chainlog/internal/automaton"
+	"chainlog/internal/edb"
 	"chainlog/internal/symtab"
 )
 
@@ -67,8 +68,34 @@ func (v *visitedSet) reset(bound int, sparse bool) {
 	v.dirty = v.dirty[:0]
 }
 
-// visit marks (q, u) visited and reports whether it was new.
+// visit marks (q, u) visited and reports whether it was new. The body is
+// the dense in-bounds test-and-set — the traversal calls it for every
+// generated node, most of which are rejects — with page growth, the
+// sparse map and the budget migration split into visitSlow.
 func (v *visitedSet) visit(q int, u symtab.Sym) bool {
+	w := int(u) >> 6
+	if v.m == nil && q < len(v.pages) {
+		if p := v.pages[q]; w < len(p) {
+			bit := uint64(1) << (uint(u) & 63)
+			old := p[w]
+			if old&bit != 0 {
+				return false
+			}
+			if old == 0 {
+				v.dirty = append(v.dirty, dirtyWord{int32(q), int32(w)})
+			}
+			p[w] = old | bit
+			v.count++
+			return true
+		}
+	}
+	return v.visitSlow(q, u)
+}
+
+// visitSlow handles the paths visit keeps off the hot loop: the sparse
+// map, growing the page spine to a new state, and growing a page past
+// the known bound (tuple terms interned mid-run).
+func (v *visitedSet) visitSlow(q int, u symtab.Sym) bool {
 	if v.m != nil {
 		n := node{q, u}
 		if v.m[n] {
@@ -85,13 +112,12 @@ func (v *visitedSet) visit(q int, u symtab.Sym) bool {
 	p := v.pages[q]
 	if w >= len(p) {
 		// First visit of state q, or the symbol domain grew past the
-		// page (tuple terms interned mid-run). Doubling keeps repeated
-		// mid-run growth amortized linear.
+		// page. Doubling keeps repeated mid-run growth amortized linear.
 		np := make([]uint64, max(w+1, max(v.words, 2*len(p))))
 		v.alloc += len(np) - len(p)
 		if v.alloc > denseWordBudget {
 			v.migrateToSparse()
-			return v.visit(q, u)
+			return v.visitSlow(q, u)
 		}
 		copy(np, p)
 		p = np
@@ -128,6 +154,29 @@ func (v *visitedSet) migrateToSparse() {
 	v.pages = nil
 	v.dirty = v.dirty[:0]
 	v.alloc = 0
+}
+
+// pageForMerge returns the dense page of state q grown to cover word w,
+// for the parallel merge's word-level unions; nil when growing it
+// tripped the dense budget and the set migrated to sparse (the caller
+// then inserts node by node).
+func (v *visitedSet) pageForMerge(q, w int) []uint64 {
+	for q >= len(v.pages) {
+		v.pages = append(v.pages, nil)
+	}
+	p := v.pages[q]
+	if w < len(p) {
+		return p
+	}
+	np := make([]uint64, max(w+1, max(v.words, 2*len(p))))
+	v.alloc += len(np) - len(p)
+	if v.alloc > denseWordBudget {
+		v.migrateToSparse()
+		return nil
+	}
+	copy(np, p)
+	v.pages[q] = np
+	return np
 }
 
 // has reports whether (q, u) is visited, without inserting.
@@ -224,6 +273,49 @@ type runScratch struct {
 	d1     []symtab.Sym
 	d2     []symtab.Sym
 	img    []symtab.Sym
+
+	// relCounts accumulates raw-probe statistics per resolved relation
+	// (indexed like Engine.rels); one batched counter flush at the end of
+	// the run replaces two atomic adds per probe.
+	relCounts []probeCount
+
+	// parallel-traversal scratch: the level being processed (swapped with
+	// stack at each level boundary) and the worker-handle spine.
+	frontier []node
+	workers  []*parWorker
+}
+
+// probeCount is the per-relation statistics accumulator of one run.
+type probeCount struct{ lookups, retrieved int64 }
+
+// resetCounts prepares the accumulator for a run over n resolved
+// relations; warm scratches reuse their capacity.
+func (sc *runScratch) resetCounts(n int) {
+	if cap(sc.relCounts) < n {
+		sc.relCounts = make([]probeCount, n)
+		return
+	}
+	sc.relCounts = sc.relCounts[:n]
+	clear(sc.relCounts)
+}
+
+// growCounts extends the accumulator to n relations mid-run (EM
+// expansion compiled a predicate whose relation was not yet resolved),
+// preserving the counts gathered so far.
+func (sc *runScratch) growCounts(n int) {
+	for len(sc.relCounts) < n {
+		sc.relCounts = append(sc.relCounts, probeCount{})
+	}
+}
+
+// flushCounts publishes the accumulated statistics to the owning
+// stores' counters, one batched add per touched relation.
+func flushCounts(rels []*edb.Relation, counts []probeCount) {
+	for i := range counts {
+		if c := &counts[i]; c.lookups != 0 || c.retrieved != 0 {
+			rels[i].Counters().AddBatch(uint32(i), c.lookups, c.retrieved)
+		}
+	}
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}

@@ -80,6 +80,18 @@ func (c *CounterSet) count(h uint32, n int64) {
 	s.retrieved.Add(n)
 }
 
+// AddBatch folds a batch of probe statistics into the counters in two
+// atomic adds. Evaluators that probe through the raw (uncounted)
+// adjacency accessors accumulate lookups/retrieved in per-run locals and
+// flush once per run through this, keeping per-probe atomics off their
+// hot path while preserving exact totals. The shard is selected by h so
+// concurrent flushers spread across cache lines.
+func (c *CounterSet) AddBatch(h uint32, lookups, retrieved int64) {
+	s := &c.shards[h&(counterShards-1)]
+	s.lookups.Add(lookups)
+	s.retrieved.Add(retrieved)
+}
+
 // Store holds all extensional relations of one database instance.
 //
 // Concurrency: read operations (Relation, Successors, Predecessors,
@@ -251,6 +263,10 @@ func newRelation(s *Store, name string, arity int) *Relation {
 
 // Name returns the relation name.
 func (r *Relation) Name() string { return r.name }
+
+// Counters returns the owning store's counter set, the target for
+// batched statistics of raw (uncounted) probes.
+func (r *Relation) Counters() *CounterSet { return &r.store.Counters }
 
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
@@ -445,6 +461,31 @@ func (r *Relation) Predecessors(v symtab.Sym) []symtab.Sym {
 	out := r.lookupAdj(&r.rev, 1, 0, v)
 	r.store.Counters.count(r.shard^uint32(v), int64(len(out)))
 	return out
+}
+
+// SuccessorsRaw is Successors without the retrieval-counter update: two
+// array loads on the warm CSR path, no atomics. Callers that report
+// retrieval statistics must count the probe themselves (see
+// CounterSet.AddBatch); the chain evaluator batches its counts per run.
+func (r *Relation) SuccessorsRaw(u symtab.Sym) []symtab.Sym {
+	if r == nil {
+		return nil
+	}
+	if r.arity != 2 {
+		panic("edb: Successors on non-binary relation " + r.name)
+	}
+	return r.lookupAdj(&r.fwd, 0, 1, u)
+}
+
+// PredecessorsRaw is Predecessors without the retrieval-counter update.
+func (r *Relation) PredecessorsRaw(v symtab.Sym) []symtab.Sym {
+	if r == nil {
+		return nil
+	}
+	if r.arity != 2 {
+		panic("edb: Predecessors on non-binary relation " + r.name)
+	}
+	return r.lookupAdj(&r.rev, 1, 0, v)
 }
 
 // Domain returns the sorted distinct values of column col.

@@ -28,6 +28,7 @@ type optionsKey struct {
 	strategy           Strategy
 	maxIterations      int
 	maxNodes           int
+	parallelism        int
 	disableCyclicGuard bool
 	forceSection4      bool
 	strict             bool
@@ -38,6 +39,7 @@ func keyOfOptions(o Options) optionsKey {
 		strategy:           o.Strategy,
 		maxIterations:      o.MaxIterations,
 		maxNodes:           o.MaxNodes,
+		parallelism:        o.Parallelism,
 		disableCyclicGuard: o.DisableCyclicGuard,
 		forceSection4:      o.ForceSection4,
 		strict:             o.Strict,

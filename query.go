@@ -103,6 +103,15 @@ type Options struct {
 	DisableCyclicGuard bool
 	// MaxNodes bounds the interpretation graph (0 = unlimited).
 	MaxNodes int
+	// Parallelism bounds the chain engine's traversal worker pool and the
+	// fan-out of batch runs: large traversal frontiers are sharded across
+	// up to this many workers, and RunBatch/QueryBatch evaluate distinct
+	// bindings concurrently. 0 and 1 (the default) evaluate sequentially
+	// on the calling goroutine, preserving the zero-allocation warm path;
+	// negative values use runtime.GOMAXPROCS(0). Parallel evaluation
+	// returns identical answers to sequential evaluation. Traced plans
+	// (Trace != nil) always run sequentially.
+	Parallelism int
 	// ForceSection4 routes binary-chain bf queries through the Section 4
 	// transformation as well (used by ablation A4).
 	ForceSection4 bool
@@ -133,6 +142,7 @@ func (db *DB) engineOpts(opts Options) chaineval.Options {
 		MaxIterations:      opts.MaxIterations,
 		DisableCyclicGuard: opts.DisableCyclicGuard,
 		MaxNodes:           opts.MaxNodes,
+		Parallelism:        opts.Parallelism,
 		Tracer:             db.tracer(opts),
 	}
 }

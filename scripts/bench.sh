@@ -2,22 +2,37 @@
 # bench.sh runs the benchmark suite and emits a machine-readable JSON
 # report (ns/op, B/op, allocs/op and custom metrics per benchmark), so
 # the perf trajectory is diffable across PRs: check the output in as
-# BENCH_<pr>.json.
+# BENCH_<pr>.json. The CI regression gate diffs a fresh report against
+# the newest checked-in baseline with `benchjson -compare`.
 #
 # Usage:
-#   scripts/bench.sh [out.json]
+#   scripts/bench.sh [-count N] [out.json]
+#
+#   -count N   run each benchmark N times (go test -count); the JSON then
+#              holds N records per benchmark and compare mode averages
+#              them, damping scheduler noise in the CI gate.
 #
 # Environment:
 #   BENCH_PATTERN  benchmark regexp (default: the paper-table suites)
 #   BENCHTIME      go test -benchtime value (default 1s; CI smoke uses 10ms)
+#
+# set -o pipefail makes the pipeline below propagate a go test failure
+# (compile error, panicking benchmark) instead of reporting benchjson's
+# exit status; set -e then aborts the script with it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFig7|BenchmarkFig8|BenchmarkTheorem3|BenchmarkTheorem4|BenchmarkPrepared|BenchmarkFlight}"
+COUNT=1
+if [ "${1:-}" = "-count" ]; then
+  COUNT="${2:?scripts/bench.sh: -count needs a value}"
+  shift 2
+fi
+
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFig7|BenchmarkFig8|BenchmarkTheorem3|BenchmarkTheorem4|BenchmarkPrepared|BenchmarkFlight|BenchmarkBatch|BenchmarkParallel}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${1:-BENCH.json}"
 
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . \
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . \
   | tee /dev/stderr \
   | go run ./cmd/benchjson > "$OUT"
 echo "wrote $OUT" >&2
