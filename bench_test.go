@@ -610,3 +610,88 @@ func BenchmarkParallel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPreparedAssertThenRun measures the live-update tentpole: the
+// cost of Prepared.Run immediately after a single fact mutation. The
+// /refresh variant is the two-epoch path — the plan absorbs the change
+// by refreshing its relation pointers and the CSR absorbs it as an
+// incremental overlay — while /recompile forces the pre-live-update
+// behavior (every mutation invalidates the compiled world) by bumping
+// the rule epoch, so the Run pays plan recompilation plus a cold
+// adjacency rebuild. The acceptance criterion is refresh being >= 5x
+// cheaper. The query constant sits near the end of a long chain so the
+// traversal itself is a few nodes: the measured gap is the invalidation
+// story, not the query.
+func BenchmarkPreparedAssertThenRun(b *testing.B) {
+	const chain = 4096
+	newChainDB := func(b *testing.B) (*DB, *Prepared) {
+		b.Helper()
+		db := NewDB()
+		if err := db.LoadProgram(`
+tc(X, Y) :- e(X, Y).
+tc(X, Z) :- e(X, Y), tc(Y, Z).
+`); err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]Fact, 0, chain)
+		for i := 0; i < chain; i++ {
+			batch = append(batch, Fact{Pred: "e", Args: []string{fmt.Sprintf("v%d", i), fmt.Sprintf("v%d", i+1)}})
+		}
+		db.AssertBatch(batch)
+		p, err := db.Prepare("tc(?, Y)", Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(fmt.Sprintf("v%d", chain-6)); err != nil {
+			b.Fatal(err)
+		}
+		return db, p
+	}
+	bound := fmt.Sprintf("v%d", chain-6)
+	b.Run("refresh", func(b *testing.B) {
+		db, p := newChainDB(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				db.Assert("e", "m0", "m1")
+			} else {
+				db.Retract("e", "m0", "m1")
+			}
+			if _, err := p.Run(bound); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recompile", func(b *testing.B) {
+		db, p := newChainDB(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				db.Assert("e", "m0", "m1")
+			} else {
+				db.Retract("e", "m0", "m1")
+			}
+			db.Invalidate()
+			if _, err := p.Run(bound); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The retract-only churn shape: toggle a mid-chain edge so each
+	// mutation changes the answer set, still on the refresh path.
+	b.Run("retract-assert", func(b *testing.B) {
+		db, p := newChainDB(b)
+		cut0, cut1 := fmt.Sprintf("v%d", chain-4), fmt.Sprintf("v%d", chain-3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				db.Retract("e", cut0, cut1)
+			} else {
+				db.Assert("e", cut0, cut1)
+			}
+			if _, err := p.Run(bound); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

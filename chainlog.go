@@ -48,13 +48,26 @@
 //
 //	ans, err := db.Query("sg(john, Y)")
 //
-// # Concurrency
+// # Concurrency and live updates
 //
 // A DB guards its program and fact store with a readers-writer lock:
 // any number of goroutines may Query / Run prepared plans concurrently,
-// while mutations (LoadProgram, Assert, SetStore) take the exclusive
-// lock and bump an epoch that invalidates cached plans. A Prepared whose
-// epoch went stale recompiles itself transparently on its next Run.
+// while mutations take the exclusive lock. Mutations are tracked by two
+// epochs, because a compiled plan depends only on the rules while
+// evaluation reads the facts:
+//
+//   - the rule epoch moves on LoadProgram (when rules were added),
+//     SetStore and Invalidate. Cached plans are discarded and Prepared
+//     handles recompile transparently on their next Run.
+//   - the fact epoch moves on Assert, Retract, AssertBatch and Apply.
+//     Compiled plans survive: on its next Run a Prepared merely
+//     refreshes its pre-resolved relation pointers, and the extensional
+//     store absorbs the change as an incremental CSR overlay instead of
+//     rebuilding its adjacency.
+//
+// Facts can therefore churn at traffic rates — the hot serving path
+// after a single Assert or Retract performs no parsing, no equation
+// transformation and no automaton compilation.
 package chainlog
 
 import (
@@ -83,20 +96,26 @@ type DB struct {
 	store *edb.Store
 	prog  *ast.Program
 
-	// epoch counts mutations. Every derived artifact (analysis, active
-	// domain, cached plans) records the epoch it was computed at and is
-	// invalid once the DB's epoch moves past it.
-	epoch uint64
+	// ruleEpoch counts mutations that change the compiled world: rule
+	// additions, store replacement, explicit invalidation. factEpoch
+	// counts fact-only mutations (Assert/Retract and their batched
+	// forms). Every derived artifact records the epoch(s) it was
+	// computed at: plans recompile only when the rule epoch moves and
+	// absorb fact-epoch movement in place.
+	ruleEpoch uint64
+	factEpoch uint64
 
-	// analysisMu guards the memoized Section 2 classification.
+	// analysisMu guards the memoized Section 2 classification, which
+	// depends only on the rules.
 	analysisMu sync.Mutex
 	info       *analysis.Info
 	infoEpoch  uint64
 
-	// domainMu guards the memoized active domain.
-	domainMu    sync.Mutex
-	domain      []symtab.Sym
-	domainEpoch uint64
+	// domainMu guards the memoized active domain, which reads the facts.
+	domainMu   sync.Mutex
+	domain     []symtab.Sym
+	domainRule uint64
+	domainFact uint64
 
 	// plans is the prepared-plan cache behind Query/QueryOpts.
 	plans planCache
@@ -105,21 +124,31 @@ type DB struct {
 // NewDB returns an empty database.
 func NewDB() *DB {
 	st := symtab.NewTable()
-	return &DB{st: st, store: edb.NewStore(st), prog: &ast.Program{}, epoch: 1}
+	return &DB{st: st, store: edb.NewStore(st), prog: &ast.Program{}, ruleEpoch: 1, factEpoch: 1}
 }
 
-// bumpEpoch invalidates derived state; the caller must hold db.mu
-// exclusively. The plan cache is emptied too, so plans compiled against
-// a replaced store do not pin it in memory (a stale entry rebuilds from
-// scratch anyway, so dropping it loses nothing). Prepared handles held
-// by callers still self-heal on their next Run.
-func (db *DB) bumpEpoch() {
-	db.epoch++
+// bumpRuleEpoch invalidates every derived artifact; the caller must hold
+// db.mu exclusively. The plan cache is emptied too, so plans compiled
+// against a replaced program or store do not pin it in memory (a stale
+// entry rebuilds from scratch anyway, so dropping it loses nothing).
+// Prepared handles held by callers still self-heal on their next Run.
+func (db *DB) bumpRuleEpoch() {
+	db.ruleEpoch++
 	db.plans.clear()
 }
 
+// bumpFactEpoch records a fact-only mutation; the caller must hold db.mu
+// exclusively. Cached plans are deliberately kept: a Prepared absorbs a
+// fact-epoch movement by refreshing its relation pointers, not by
+// recompiling, so the plan cache survives fact churn.
+func (db *DB) bumpFactEpoch() {
+	db.factEpoch++
+}
+
 // LoadProgram parses Datalog text and adds its rules to the intensional
-// database and its facts to the extensional database.
+// database and its facts to the extensional database. A load that adds
+// rules moves the rule epoch (cached plans recompile); a facts-only load
+// moves only the fact epoch, like Assert.
 func (db *DB) LoadProgram(src string) error {
 	res, err := parser.Parse(src, db.st)
 	if err != nil {
@@ -140,28 +169,160 @@ func (db *DB) LoadProgram(src string) error {
 	for _, f := range res.Facts {
 		db.store.Insert(f.Pred, f.Args...)
 	}
-	db.bumpEpoch()
+	if len(res.Program.Rules) > 0 {
+		db.bumpRuleEpoch()
+	} else {
+		db.bumpFactEpoch()
+	}
 	return nil
 }
 
-// Assert inserts a single ground fact given as constant names.
-func (db *DB) Assert(pred string, args ...string) {
+// Assert inserts a single ground fact given as constant names and
+// reports whether it was new. Asserting a fact that is already present
+// is a no-op that leaves both epochs unchanged.
+func (db *DB) Assert(pred string, args ...string) bool {
 	syms := make([]symtab.Sym, len(args))
 	for i, a := range args {
 		syms[i] = db.st.Intern(a)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.store.Insert(pred, syms...)
-	db.bumpEpoch()
+	return db.AssertSyms(pred, syms...)
 }
 
-// AssertSyms inserts a ground fact of pre-interned symbols.
-func (db *DB) AssertSyms(pred string, args ...symtab.Sym) {
+// AssertSyms inserts a ground fact of pre-interned symbols and reports
+// whether it was new.
+func (db *DB) AssertSyms(pred string, args ...symtab.Sym) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.store.Insert(pred, args...)
-	db.bumpEpoch()
+	if !db.store.Insert(pred, args...) {
+		return false
+	}
+	db.bumpFactEpoch()
+	return true
+}
+
+// Retract deletes a single ground fact given as constant names and
+// reports whether it was present. Retracting a fact that was never
+// asserted — or retracting the same fact twice — is a no-op returning
+// false, leaving both epochs unchanged.
+func (db *DB) Retract(pred string, args ...string) bool {
+	syms := make([]symtab.Sym, len(args))
+	for i, a := range args {
+		s, ok := db.st.Lookup(a)
+		if !ok {
+			return false // an unknown constant cannot be part of a stored fact
+		}
+		syms[i] = s
+	}
+	return db.RetractSyms(pred, syms...)
+}
+
+// RetractSyms deletes a ground fact of pre-interned symbols and reports
+// whether it was present.
+func (db *DB) RetractSyms(pred string, args ...symtab.Sym) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.store.Remove(pred, args...) {
+		return false
+	}
+	db.bumpFactEpoch()
+	return true
+}
+
+// Fact is one ground fact for the batched mutation APIs.
+type Fact struct {
+	Pred string
+	Args []string
+}
+
+// AssertBatch inserts many facts under one exclusive lock acquisition
+// and a single fact-epoch movement, returning the number of facts that
+// were new. For mixed assert/retract batches use Apply.
+func (db *DB) AssertBatch(facts []Fact) int {
+	d := &Delta{}
+	for _, f := range facts {
+		d.Assert(f.Pred, f.Args...)
+	}
+	res := db.Apply(d)
+	return res.Asserted
+}
+
+// Delta is an ordered batch of fact mutations, applied atomically by
+// DB.Apply. Operations take effect in the order they were added, so a
+// Delta that asserts and later retracts the same fact nets to absence.
+type Delta struct {
+	ops []deltaOp
+}
+
+type deltaOp struct {
+	pred    string
+	args    []string
+	retract bool
+}
+
+// Assert queues an insertion. It returns the Delta for chaining.
+func (d *Delta) Assert(pred string, args ...string) *Delta {
+	d.ops = append(d.ops, deltaOp{pred: pred, args: args})
+	return d
+}
+
+// Retract queues a deletion. It returns the Delta for chaining.
+func (d *Delta) Retract(pred string, args ...string) *Delta {
+	d.ops = append(d.ops, deltaOp{pred: pred, args: args, retract: true})
+	return d
+}
+
+// Len returns the number of queued operations.
+func (d *Delta) Len() int { return len(d.ops) }
+
+// ApplyResult reports what a Delta changed.
+type ApplyResult struct {
+	// Asserted counts insertions that were new; Retracted counts
+	// deletions that removed a present fact. No-op operations (duplicate
+	// asserts, retracts of absent facts) are excluded.
+	Asserted, Retracted int
+}
+
+// Apply executes a Delta under one exclusive lock acquisition. The fact
+// epoch moves once — at most — for the whole batch, so readers observe
+// the delta atomically and prepared plans refresh a single time however
+// many facts changed. A Delta that nets to no change leaves the epochs
+// untouched.
+func (db *DB) Apply(d *Delta) ApplyResult {
+	var res ApplyResult
+	if d == nil || len(d.ops) == 0 {
+		return res
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, op := range d.ops {
+		if op.retract {
+			syms := make([]symtab.Sym, len(op.args))
+			known := true
+			for i, a := range op.args {
+				s, ok := db.st.Lookup(a)
+				if !ok {
+					known = false
+					break
+				}
+				syms[i] = s
+			}
+			if known && db.store.Remove(op.pred, syms...) {
+				res.Retracted++
+			}
+			continue
+		}
+		syms := make([]symtab.Sym, len(op.args))
+		for i, a := range op.args {
+			syms[i] = db.st.Intern(a)
+		}
+		if db.store.Insert(op.pred, syms...) {
+			res.Asserted++
+		}
+	}
+	if res.Asserted > 0 || res.Retracted > 0 {
+		db.bumpFactEpoch()
+	}
+	return res
 }
 
 // Sym is an interned constant symbol — an alias of the internal dense
@@ -197,25 +358,38 @@ func (db *DB) SetStore(s *edb.Store) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.store = s
-	db.bumpEpoch()
+	// Replacing the store invalidates the relation pointers compiled
+	// into every plan; this is a rule-epoch event even though no rule
+	// changed.
+	db.bumpRuleEpoch()
 }
 
 // Invalidate discards every cached plan and memoized analysis, forcing
 // recompilation on the next query. It is only needed after mutating the
-// Store() directly; LoadProgram, Assert and SetStore invalidate
-// automatically.
+// Store() directly; LoadProgram, Assert, Retract, Apply and SetStore
+// invalidate automatically.
 func (db *DB) Invalidate() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.bumpEpoch()
+	db.bumpRuleEpoch()
 }
 
-// Epoch returns the current mutation epoch. Two calls returning the same
-// value bracket a span during which no program or fact mutation happened.
+// Epoch returns the current combined mutation epoch. Two calls returning
+// the same value bracket a span during which no program or fact mutation
+// happened. Use Epochs to distinguish rule from fact movement.
 func (db *DB) Epoch() uint64 {
+	rule, fact := db.Epochs()
+	return rule + fact
+}
+
+// Epochs returns the rule and fact epochs. The rule epoch moves when the
+// compiled world changes (rules added, store replaced, Invalidate); the
+// fact epoch moves on fact-only mutations, which prepared plans absorb
+// without recompiling.
+func (db *DB) Epochs() (rule, fact uint64) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.epoch
+	return db.ruleEpoch, db.factEpoch
 }
 
 // Program exposes the parsed intensional database. The returned program
@@ -236,9 +410,9 @@ func (db *DB) Analysis() *analysis.Info {
 func (db *DB) analysisLocked() *analysis.Info {
 	db.analysisMu.Lock()
 	defer db.analysisMu.Unlock()
-	if db.info == nil || db.infoEpoch != db.epoch {
+	if db.info == nil || db.infoEpoch != db.ruleEpoch {
 		db.info = analysis.Analyze(db.prog)
-		db.infoEpoch = db.epoch
+		db.infoEpoch = db.ruleEpoch
 	}
 	return db.info
 }
@@ -268,9 +442,10 @@ func (db *DB) Classify() Classification {
 }
 
 // ActiveDomain returns the sorted set of constants occurring in the
-// extensional database. The scan is memoized and invalidated by the same
-// epoch that invalidates cached plans, so ff queries do not rescan every
-// relation on each call. The returned slice is the caller's to mutate.
+// extensional database. The scan is memoized and invalidated by any
+// mutation epoch movement (facts change the domain, and a store
+// replacement does too), so ff queries do not rescan every relation on
+// each call. The returned slice is the caller's to mutate.
 func (db *DB) ActiveDomain() []symtab.Sym {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -282,17 +457,16 @@ func (db *DB) ActiveDomain() []symtab.Sym {
 func (db *DB) activeDomainLocked() []symtab.Sym {
 	db.domainMu.Lock()
 	defer db.domainMu.Unlock()
-	if db.domain != nil && db.domainEpoch == db.epoch {
+	if db.domain != nil && db.domainRule == db.ruleEpoch && db.domainFact == db.factEpoch {
 		return db.domain
 	}
 	set := make(map[symtab.Sym]bool)
 	for _, name := range db.store.Relations() {
-		r := db.store.Relation(name)
-		for i := 0; i < r.Len(); i++ {
-			for _, s := range r.Tuple(i) {
+		db.store.Relation(name).EachRaw(func(tuple []symtab.Sym) {
+			for _, s := range tuple {
 				set[s] = true
 			}
-		}
+		})
 	}
 	out := make([]symtab.Sym, 0, len(set))
 	for s := range set {
@@ -300,7 +474,8 @@ func (db *DB) activeDomainLocked() []symtab.Sym {
 	}
 	slices.Sort(out)
 	db.domain = out
-	db.domainEpoch = db.epoch
+	db.domainRule = db.ruleEpoch
+	db.domainFact = db.factEpoch
 	return out
 }
 

@@ -1,0 +1,486 @@
+package chainlog
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chainlog/internal/ast"
+	"chainlog/internal/naiveeval"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+)
+
+// The differential oracle: random chain programs, random fact sets and
+// random interleavings of Assert / Retract / Apply / Query are driven
+// against both the chain engine (one-shot, prepared-reused-across-
+// mutations, parallel, batch, streamed) and the textbook semi-naive
+// reference in internal/naiveeval, which recomputes every answer from
+// scratch. Any divergence is a bug in the engine's live-update path —
+// exactly the class of bug the two-epoch refresh machinery could
+// introduce silently.
+//
+// The same generator runs in two harnesses: FuzzDifferential consumes
+// fuzz data as its decision stream (go test -fuzz=FuzzDifferential), and
+// TestDifferentialSchedules replays a deterministic seed sweep on every
+// plain `go test` run.
+
+// chooser is the generator's decision source: a fuzzer byte stream or a
+// seeded PRNG.
+type chooser interface {
+	intn(n int) int
+}
+
+type byteChooser struct {
+	data []byte
+	i    int
+}
+
+func (b *byteChooser) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if b.i >= len(b.data) {
+		return 0 // deterministic once the stream is exhausted
+	}
+	v := int(b.data[b.i])
+	b.i++
+	return v % n
+}
+
+type randChooser struct{ r *rand.Rand }
+
+func (c randChooser) intn(n int) int { return c.r.Intn(n) }
+
+// diffTemplate is one program family the generator can pick.
+type diffTemplate struct {
+	name string
+	src  string
+	// bases lists the mutable extensional predicates with their arities.
+	bases []baseSpec
+	// queries are query templates with '?' holes for bound constants.
+	queries []string
+}
+
+type baseSpec struct {
+	pred  string
+	arity int
+}
+
+var diffTemplates = []diffTemplate{
+	{
+		name: "tc",
+		src: `
+tc(X, Y) :- e(X, Y).
+tc(X, Z) :- e(X, Y), tc(Y, Z).
+`,
+		bases:   []baseSpec{{"e", 2}},
+		queries: []string{"tc(?, Y)", "tc(X, ?)", "tc(X, Y)", "tc(?, ?)", "tc(X, X)"},
+	},
+	{
+		name: "sg",
+		src: `
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).
+`,
+		bases:   []baseSpec{{"flat", 2}, {"up", 2}, {"down", 2}},
+		queries: []string{"sg(?, Y)", "sg(X, ?)", "sg(X, Y)", "sg(?, ?)"},
+	},
+	{
+		name: "nonregular",
+		src: `
+p(X, Y) :- a(X, Y).
+p(X, Z) :- a(X, Y), p(Y, W), b(W, Z).
+`,
+		bases:   []baseSpec{{"a", 2}, {"b", 2}},
+		queries: []string{"p(?, Y)", "p(X, ?)", "p(X, Y)", "p(?, ?)"},
+	},
+	{
+		name: "mutual",
+		src: `
+p(X, Z) :- a(X, Y), q(Y, Z).
+q(X, Y) :- b(X, Y).
+q(X, Z) :- b(X, Y), p(Y, Z).
+`,
+		bases:   []baseSpec{{"a", 2}, {"b", 2}},
+		queries: []string{"p(?, Y)", "q(?, Y)", "p(X, ?)", "q(X, Y)"},
+	},
+	{
+		name: "nary",
+		src: `
+sg3(T, X, Y) :- flat3(T, X, Y).
+sg3(T, X, Y) :- up3(T, X, X1), sg3(T, X1, Y1), down3(T, Y1, Y).
+`,
+		bases:   []baseSpec{{"flat3", 3}, {"up3", 3}, {"down3", 3}},
+		queries: []string{"sg3(?, ?, Y)", "sg3(?, X, Y)"},
+	},
+}
+
+// diffConsts is the constant pool; small enough that asserts collide
+// with existing facts and retracts often hit.
+var diffConsts = [...]string{"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"}
+
+// diffState is one differential run: the engine DB, the oracle's program
+// ast and fact mirror, and the prepared handles that must survive every
+// mutation of the schedule.
+type diffState struct {
+	t        testing.TB
+	c        chooser
+	db       *DB
+	prog     *ast.Program
+	facts    *naiveeval.Facts
+	tmpl     diffTemplate
+	prepared map[string]*Prepared // sequential handles, one per query template
+	parallel map[string]*Prepared // Parallelism: 4 handles
+	mutation int                  // mutations applied so far (for failure reports)
+}
+
+func newDiffState(t testing.TB, c chooser) *diffState {
+	tmpl := diffTemplates[c.intn(len(diffTemplates))]
+	db := NewDB()
+	if err := db.LoadProgram(tmpl.src); err != nil {
+		t.Fatalf("template %s: %v", tmpl.name, err)
+	}
+	res, err := parser.Parse(tmpl.src, db.SymTab())
+	if err != nil {
+		t.Fatalf("template %s reparse: %v", tmpl.name, err)
+	}
+	s := &diffState{
+		t:        t,
+		c:        c,
+		db:       db,
+		prog:     res.Program,
+		facts:    naiveeval.NewFacts(),
+		tmpl:     tmpl,
+		prepared: map[string]*Prepared{},
+		parallel: map[string]*Prepared{},
+	}
+	// Prepare every query template up front: these handles live through
+	// the whole schedule, so each Run after a mutation exercises the
+	// fact-epoch refresh path rather than a fresh compilation.
+	for _, q := range tmpl.queries {
+		if !strings.Contains(q, "?") {
+			continue
+		}
+		p, err := db.Prepare(q, Options{})
+		if err != nil {
+			t.Fatalf("Prepare(%s): %v", q, err)
+		}
+		s.prepared[q] = p
+		pp, err := db.Prepare(q, Options{Parallelism: 4})
+		if err != nil {
+			t.Fatalf("Prepare(%s, par): %v", q, err)
+		}
+		s.parallel[q] = pp
+	}
+	return s
+}
+
+// randomFact picks a base predicate and a constant vector.
+func (s *diffState) randomFact() (string, []string) {
+	b := s.tmpl.bases[s.c.intn(len(s.tmpl.bases))]
+	args := make([]string, b.arity)
+	for i := range args {
+		args[i] = diffConsts[s.c.intn(len(diffConsts))]
+	}
+	return b.pred, args
+}
+
+func (s *diffState) internArgs(args []string) []symtab.Sym {
+	syms := make([]symtab.Sym, len(args))
+	for i, a := range args {
+		syms[i] = s.db.Intern(a)
+	}
+	return syms
+}
+
+// assertOne mutates engine and oracle identically.
+func (s *diffState) assertOne(pred string, args []string) {
+	s.mutation++
+	got := s.db.Assert(pred, args...)
+	want := s.facts.Assert(pred, s.internArgs(args))
+	if got != want {
+		s.t.Fatalf("mutation %d: Assert(%s, %v) = %v, oracle %v", s.mutation, pred, args, got, want)
+	}
+}
+
+func (s *diffState) retractOne(pred string, args []string) {
+	s.mutation++
+	got := s.db.Retract(pred, args...)
+	want := s.facts.Retract(pred, s.internArgs(args))
+	if got != want {
+		s.t.Fatalf("mutation %d: Retract(%s, %v) = %v, oracle %v", s.mutation, pred, args, got, want)
+	}
+}
+
+// applyBatch funnels several mutations through one Delta/Apply call.
+func (s *diffState) applyBatch() {
+	s.mutation++
+	d := &Delta{}
+	wantAsserted, wantRetracted := 0, 0
+	n := 1 + s.c.intn(6)
+	for i := 0; i < n; i++ {
+		pred, args := s.randomFact()
+		if s.c.intn(3) == 0 {
+			d.Retract(pred, args...)
+			if s.facts.Retract(pred, s.internArgs(args)) {
+				wantRetracted++
+			}
+		} else {
+			d.Assert(pred, args...)
+			if s.facts.Assert(pred, s.internArgs(args)) {
+				wantAsserted++
+			}
+		}
+	}
+	res := s.db.Apply(d)
+	if res.Asserted != wantAsserted || res.Retracted != wantRetracted {
+		s.t.Fatalf("mutation %d: Apply = %+v, oracle wants {%d %d}", s.mutation, res, wantAsserted, wantRetracted)
+	}
+}
+
+// fillHoles substitutes constants for '?' in a query template.
+func fillHoles(tmpl string, consts []string) string {
+	var b strings.Builder
+	k := 0
+	for _, r := range tmpl {
+		if r == '?' {
+			b.WriteString(consts[k])
+			k++
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func countHoles(tmpl string) int { return strings.Count(tmpl, "?") }
+
+// oracleRows computes the reference answer for a concrete query text and
+// renders it in the engine's answer format (string rows, engine sort
+// order, nil when empty).
+func (s *diffState) oracleRows(text string) ([][]string, bool) {
+	q, err := parser.ParseQuery(text, s.db.SymTab())
+	if err != nil {
+		s.t.Fatalf("oracle parse %q: %v", text, err)
+	}
+	rows := naiveeval.Answer(s.prog, s.facts, s.db.SymTab(), q)
+	if len(freeVars(q)) == 0 {
+		return nil, len(rows) > 0
+	}
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		row := make([]string, len(r))
+		for i, v := range r {
+			row[i] = s.db.Name(v)
+		}
+		out = append(out, row)
+	}
+	sortRows(out)
+	if len(out) == 0 {
+		return nil, false
+	}
+	return out, false
+}
+
+// checkAnswer compares one engine answer against the oracle.
+func (s *diffState) checkAnswer(how, text string, ans *Answer) {
+	wantRows, wantTrue := s.oracleRows(text)
+	if len(ans.Vars) == 0 {
+		if ans.True != wantTrue {
+			s.t.Fatalf("after %d mutations (%s): %s [%s] = %v, oracle %v", s.mutation, s.tmpl.name, text, how, ans.True, wantTrue)
+		}
+		return
+	}
+	gotRows := ans.Rows
+	if len(gotRows) == 0 {
+		gotRows = nil
+	}
+	if !reflect.DeepEqual(gotRows, wantRows) {
+		s.t.Fatalf("after %d mutations (%s): %s [%s]\n got %v\nwant %v", s.mutation, s.tmpl.name, text, how, gotRows, wantRows)
+	}
+}
+
+// query runs one randomly chosen query through one randomly chosen
+// engine surface and compares it with the oracle.
+func (s *diffState) query() {
+	qt := s.tmpl.queries[s.c.intn(len(s.tmpl.queries))]
+	nh := countHoles(qt)
+	consts := make([]string, nh)
+	for i := range consts {
+		consts[i] = diffConsts[s.c.intn(len(diffConsts))]
+	}
+	text := fillHoles(qt, consts)
+
+	p := s.prepared[qt]
+	mode := s.c.intn(6)
+	switch {
+	case mode == 0 || p == nil:
+		// One-shot through the plan cache.
+		ans, err := s.db.Query(text)
+		if err != nil {
+			s.t.Fatalf("Query(%s): %v", text, err)
+		}
+		s.checkAnswer("one-shot", text, ans)
+	case mode == 1:
+		// The prepared handle created before any mutation.
+		ans, err := p.Run(consts...)
+		if err != nil {
+			s.t.Fatalf("prepared Run(%s): %v", text, err)
+		}
+		s.checkAnswer("prepared", text, ans)
+	case mode == 2:
+		// Parallel traversal.
+		ans, err := s.parallel[qt].Run(consts...)
+		if err != nil {
+			s.t.Fatalf("parallel Run(%s): %v", text, err)
+		}
+		s.checkAnswer("parallel", text, ans)
+	case mode == 3:
+		// Batch: this vector plus a couple of random ones, every answer
+		// checked against its own oracle query.
+		sets := [][]string{consts}
+		for extra := s.c.intn(3); extra > 0; extra-- {
+			more := make([]string, nh)
+			for i := range more {
+				more[i] = diffConsts[s.c.intn(len(diffConsts))]
+			}
+			sets = append(sets, more)
+		}
+		answers, err := p.RunBatch(sets)
+		if err != nil {
+			s.t.Fatalf("RunBatch(%s): %v", qt, err)
+		}
+		for i, ans := range answers {
+			s.checkAnswer("batch", fillHoles(qt, sets[i]), ans)
+		}
+	case mode == 4:
+		// Streamed rows re-materialized by hand. Fully bound templates
+		// have no row stream (their result is the boolean Answer.True);
+		// check those through Run instead.
+		if len(p.Vars()) == 0 {
+			ans, err := p.Run(consts...)
+			if err != nil {
+				s.t.Fatalf("prepared Run(%s): %v", text, err)
+			}
+			s.checkAnswer("prepared", text, ans)
+			return
+		}
+		var rows [][]string
+		err := p.RunSymsFunc(func(row []symtab.Sym) {
+			out := make([]string, len(row))
+			for i, v := range row {
+				out[i] = s.db.Name(v)
+			}
+			rows = append(rows, out)
+		}, s.internArgs(consts)...)
+		if err != nil {
+			s.t.Fatalf("RunSymsFunc(%s): %v", text, err)
+		}
+		sortRows(rows)
+		wantRows, _ := s.oracleRows(text)
+		if len(rows) == 0 {
+			rows = nil
+		}
+		if !reflect.DeepEqual(rows, wantRows) {
+			s.t.Fatalf("after %d mutations (%s): %s [stream]\n got %v\nwant %v", s.mutation, s.tmpl.name, text, rows, wantRows)
+		}
+	default:
+		// A bottom-up baseline strategy for cross-strategy agreement.
+		strat := []Strategy{Seminaive, Magic}[s.c.intn(2)]
+		ans, err := s.db.QueryOpts(text, Options{Strategy: strat})
+		if err != nil {
+			s.t.Fatalf("QueryOpts(%s, %v): %v", text, strat, err)
+		}
+		s.checkAnswer(strat.String(), text, ans)
+	}
+}
+
+// step performs one schedule step.
+func (s *diffState) step() {
+	switch r := s.c.intn(10); {
+	case r < 3: // 30%: single assert
+		pred, args := s.randomFact()
+		s.assertOne(pred, args)
+	case r < 5: // 20%: single retract (often of a live fact)
+		pred, args := s.randomFact()
+		s.retractOne(pred, args)
+	case r < 6: // 10%: batched delta
+		s.applyBatch()
+	default: // 40%: query + compare
+		s.query()
+	}
+}
+
+// runDifferential drives one full schedule from a decision source.
+func runDifferential(t testing.TB, c chooser, steps int) {
+	s := newDiffState(t, c)
+	// Seed a few facts so early queries are not all empty.
+	for i := 0; i < 4; i++ {
+		pred, args := s.randomFact()
+		s.assertOne(pred, args)
+	}
+	for i := 0; i < steps; i++ {
+		s.step()
+	}
+	// Every prepared handle answers once more at the final state.
+	for qt, p := range s.prepared {
+		nh := countHoles(qt)
+		consts := make([]string, nh)
+		for i := range consts {
+			consts[i] = diffConsts[s.c.intn(len(diffConsts))]
+		}
+		ans, err := p.Run(consts...)
+		if err != nil {
+			t.Fatalf("final Run(%s): %v", qt, err)
+		}
+		s.checkAnswer("final", fillHoles(qt, consts), ans)
+	}
+}
+
+// TestDifferentialSchedules is the deterministic property suite: a seed
+// sweep of the same generator the fuzzer drives, run on every plain
+// `go test`, covering Assert/Retract/Apply interleavings against the
+// naive reference on all program templates and all query surfaces.
+func TestDifferentialSchedules(t *testing.T) {
+	steps := 40
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	for seed := 0; seed < seeds; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runDifferential(t, randChooser{rand.New(rand.NewSource(int64(seed)))}, steps)
+		})
+	}
+}
+
+// FuzzDifferential lets the fuzzer search the schedule space directly:
+// the input bytes are the generator's decision stream. Run with
+//
+//	go test -run '^$' -fuzz '^FuzzDifferential$' -fuzztime 30s .
+func FuzzDifferential(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte("assert-retract-query-assert-retract-query-!!"))
+	for seed := 0; seed < 4; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)))
+		data := make([]byte, 96)
+		r.Read(data)
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("schedule too long")
+		}
+		// Cap steps by the stream length so exhausted streams (which
+		// repeat choice 0 forever) do not waste time on degenerate tails.
+		steps := len(data)/2 + 4
+		if steps > 64 {
+			steps = 64
+		}
+		runDifferential(t, &byteChooser{data: data}, steps)
+	})
+}

@@ -200,6 +200,34 @@ func (m *NFA) Annotate(derived func(pred string) bool, aux func(pred string) int
 	}
 }
 
+// ReannotateAux re-runs the aux resolution on base-predicate transitions
+// that are still unannotated (Aux == NoAux), leaving id transitions,
+// derived transitions and already-resolved edges untouched. It is the
+// live-update hook: after a fact-only mutation materializes a relation
+// that did not exist at compile time, the owning evaluator upgrades the
+// affected edges in place instead of recompiling the automaton. The
+// caller must exclude concurrent traversals of m for the duration.
+func (m *NFA) ReannotateAux(aux func(pred string) int32) {
+	for id := range m.trans {
+		t := &m.trans[id]
+		if t.Label.IsID() || t.kind == KindDerived || t.aux != NoAux {
+			continue
+		}
+		a := aux(t.Label.Pred)
+		if a == NoAux {
+			continue
+		}
+		t.aux = a
+		es := m.out[t.From]
+		for i := range es {
+			if es[i].id == int32(id) {
+				es[i].Aux = a
+				break
+			}
+		}
+	}
+}
+
 // Remove deletes a transition by ID (IDs of other transitions are
 // unaffected).
 func (m *NFA) Remove(id int) {

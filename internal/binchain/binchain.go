@@ -58,6 +58,19 @@ type Transformed struct {
 // the transformation was built for (the length of the t(c̄) tuple).
 func (t *Transformed) NumBound() int { return t.numBound }
 
+// RefreshFacts re-synchronizes the transformation's fact-derived state
+// after a fact-only mutation of the base store. The transformation
+// itself depends only on the binding pattern and the virtual join
+// relations evaluate against the live store per probe; the single piece
+// of cached fact state is the active domain used by unsafe-mode
+// enumeration, which is invalidated here. The caller must exclude
+// concurrent evaluations for the duration.
+func (t *Transformed) RefreshFacts() {
+	if vs, ok := t.Source.(*virtualSource); ok {
+		vs.invalidateDomain()
+	}
+}
+
 // Bind interns the tuple term t(c̄) for a fresh vector of bound-argument
 // values, in query-literal position order. The transformation itself
 // depends only on the query's binding pattern, so one Transformed may be
@@ -242,27 +255,41 @@ type virtualSource struct {
 	// programs evaluated in unsafe mode: the rule out-r(t(Z̄f), t(X̄f)) :-
 	// ... may not bind all of X̄f, and declaratively such a variable
 	// ranges over the whole domain — the paper's counterexample).
-	// domainOnce makes the lazy scan safe under concurrent evaluation.
-	domainOnce sync.Once
-	domain     []symtab.Sym
+	// domainMu makes the lazy scan safe under concurrent evaluation; the
+	// cache is dropped by RefreshFacts when the owning plan absorbs a
+	// fact mutation, so it never outlives the facts it was scanned from.
+	domainMu    sync.Mutex
+	domain      []symtab.Sym
+	domainValid bool
 }
 
 func (v *virtualSource) activeDomain() []symtab.Sym {
-	v.domainOnce.Do(func() {
+	v.domainMu.Lock()
+	defer v.domainMu.Unlock()
+	if !v.domainValid {
 		set := map[symtab.Sym]bool{}
 		for _, name := range v.base.Relations() {
-			r := v.base.Relation(name)
-			for i := 0; i < r.Len(); i++ {
-				for _, s := range r.Tuple(i) {
+			v.base.Relation(name).EachRaw(func(tuple []symtab.Sym) {
+				for _, s := range tuple {
 					set[s] = true
 				}
-			}
+			})
 		}
+		v.domain = v.domain[:0]
 		for s := range set {
 			v.domain = append(v.domain, s)
 		}
-	})
+		v.domainValid = true
+	}
 	return v.domain
+}
+
+// invalidateDomain drops the cached active domain; the next evaluation
+// that needs it rescans the live store.
+func (v *virtualSource) invalidateDomain() {
+	v.domainMu.Lock()
+	v.domainValid = false
+	v.domainMu.Unlock()
 }
 
 // SymBound reports the symbol table's size so the evaluator can size its

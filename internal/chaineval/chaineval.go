@@ -249,6 +249,55 @@ func (e *Engine) PrecompileInverse(pred string) {
 // System returns the engine's equation system.
 func (e *Engine) System() *equations.System { return e.sys }
 
+// RefreshRelations re-synchronizes the engine's compiled state with its
+// source after a fact-only mutation, without recompiling anything: the
+// pre-resolved relation table is re-resolved by name (entries are
+// pointer-stable for in-place stores, so this matters only when the
+// source itself re-materialized a relation) and cached automata get a
+// ReannotateAux pass so base-predicate edges whose relation did not
+// exist at compile time pick up their direct adjacency pointer. The
+// equation system, the compiled automata and the cyclic-guard shapes are
+// untouched — they depend only on the rules.
+//
+// The caller must exclude concurrent traversals of this engine for the
+// duration (the chainlog layer runs it under the owning Prepared's
+// exclusive plan lock, after a mutation that itself excluded all
+// readers).
+func (e *Engine) RefreshRelations() {
+	rr, ok := e.src.(RelationResolver)
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := *e.rels.Load()
+	changed := false
+	next := make([]*edb.Relation, len(cur))
+	copy(next, cur)
+	for pred, i := range *e.relIdx.Load() {
+		if rel := rr.ResolveRelation(pred); rel != nil && rel != next[i] {
+			next[i] = rel
+			changed = true
+		}
+	}
+	if changed {
+		e.rels.Store(&next)
+	}
+	// Upgrade NoAux edges whose predicate has materialized since the
+	// automaton was annotated. relAuxLocked appends to the table, so the
+	// closure below may publish further entries.
+	for _, m := range *e.compiled.Load() {
+		m.ReannotateAux(e.relAuxLocked)
+	}
+	for _, s := range *e.shapes.Load() {
+		if s.ok {
+			s.e0.ReannotateAux(e.relAuxLocked)
+			s.e1.ReannotateAux(e.relAuxLocked)
+			s.e2.ReannotateAux(e.relAuxLocked)
+		}
+	}
+}
+
 // visitedMode reports the Sym bound for dense page sizing and whether
 // visited sets should use the sparse fallback. The bound comes from the
 // source's symbol table when the source exposes one (SymBounder); pages

@@ -64,3 +64,48 @@ func BenchmarkMatch(b *testing.B) {
 		r.Match(mask, []symtab.Sym{syms[i%256], syms[(i*3)%256]})
 	}
 }
+
+// BenchmarkAdjOverlay prices the incremental CSR maintenance against
+// the strategy it replaced: /incremental lets probes absorb interleaved
+// insert/remove churn as an overlay with a merge-based refresh every
+// adjTailMax mutations, while /fullRebuild unpublishes the CSR after
+// every mutation — the old "any change rebuilds the adjacency from
+// scratch" cost model.
+func BenchmarkAdjOverlay(b *testing.B) {
+	build := func(b *testing.B, edges int) (*Store, []symtab.Sym, *Relation) {
+		b.Helper()
+		st := symtab.NewTable()
+		s := NewStore(st)
+		syms := make([]symtab.Sym, 1024)
+		for i := range syms {
+			syms[i] = st.Intern(fmt.Sprintf("c%d", i))
+		}
+		for k := 0; k < edges; k++ {
+			s.Insert("edge", syms[k%len(syms)], syms[(k*13+5)%len(syms)])
+		}
+		r := s.Relation("edge")
+		r.Successors(syms[0]) // publish the CSR
+		return s, syms, r
+	}
+	const edges = 16384
+	churn := func(b *testing.B, unpublish bool) {
+		s, syms, r := build(b, edges)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Insert at even i, remove the same tuple at odd i.
+			k := i / 2
+			u, v := syms[(k*3+1)%len(syms)], syms[(k*7+2)%len(syms)]
+			if i%2 == 0 {
+				s.Insert("edge", u, v)
+			} else {
+				s.Remove("edge", u, v)
+			}
+			if unpublish {
+				r.fwd.Store(nil)
+			}
+			r.SuccessorsRaw(syms[(i*31)%len(syms)])
+		}
+	}
+	b.Run("incremental", func(b *testing.B) { churn(b, false) })
+	b.Run("fullRebuild", func(b *testing.B) { churn(b, true) })
+}

@@ -14,6 +14,16 @@
 // with zero per-key hashing or allocation. Retrieval counters are
 // sharded across padded cache lines so concurrent queries do not
 // serialize on a single pair of atomics.
+//
+// Mutation model: the store is live-updatable. Insert appends to the
+// flat tuple storage (an append-only overlay over the published CSR);
+// Remove tombstones a slot without moving any other tuple. Probes absorb
+// both kinds of pending change — a bounded tail scan for fresh inserts,
+// a liveness filter for fresh retractions — and once the pending-change
+// window passes adjTailMax the CSR is refreshed incrementally by merging
+// the previous arrays with the overlay instead of re-sorting the whole
+// relation. When tombstones accumulate past half the slots the flat
+// storage itself is compacted in place.
 package edb
 
 import (
@@ -97,9 +107,9 @@ func (c *CounterSet) AddBatch(h uint32, lookups, retrieved int64) {
 // Concurrency: read operations (Relation, Successors, Predecessors,
 // Match, Each, Contains) are safe to call from many goroutines at once —
 // lazily built indexes are constructed under a per-relation lock and
-// counters are atomic. Mutations (Insert, SetStore on the owning DB)
-// require external exclusion of all readers; the chainlog.DB write lock
-// provides it.
+// counters are atomic. Mutations (Insert, Remove, SetStore on the owning
+// DB) require external exclusion of all readers; the chainlog.DB write
+// lock provides it.
 type Store struct {
 	// Counters is shared by every relation in the store.
 	Counters CounterSet
@@ -126,9 +136,10 @@ func (s *Store) SymBound() int { return s.st.Len() }
 func (s *Store) CountersSnapshot() Counters { return s.Counters.Snapshot() }
 
 // Insert adds a tuple to relation pred, creating the relation on first
-// use. Inserting a duplicate tuple is a no-op. Insert panics if pred is
-// reused with a different arity; programs are arity-checked before load.
-func (s *Store) Insert(pred string, args ...symtab.Sym) {
+// use, and reports whether the tuple was new (inserting a duplicate is a
+// no-op). Insert panics if pred is reused with a different arity;
+// programs are arity-checked before load.
+func (s *Store) Insert(pred string, args ...symtab.Sym) bool {
 	r, ok := s.rels[pred]
 	if !ok {
 		r = newRelation(s, pred, len(args))
@@ -136,10 +147,25 @@ func (s *Store) Insert(pred string, args ...symtab.Sym) {
 		s.rels[pred] = r
 		s.names = append(s.names, pred)
 	}
-	r.insert(args)
+	return r.insert(args)
 }
 
-// Relation returns the named relation, or nil if it has no facts.
+// Remove deletes a tuple from relation pred and reports whether it was
+// present. Removing from a relation that does not exist, or removing a
+// tuple that was never inserted (or already removed), is a no-op
+// returning false. The slot is tombstoned — no other tuple moves, so
+// published index offsets stay valid — and the flat storage compacts
+// itself once tombstones accumulate.
+func (s *Store) Remove(pred string, args ...symtab.Sym) bool {
+	r, ok := s.rels[pred]
+	if !ok {
+		return false
+	}
+	return r.remove(args)
+}
+
+// Relation returns the named relation, or nil if it was never inserted
+// into.
 func (s *Store) Relation(pred string) *Relation { return s.rels[pred] }
 
 // Relations returns all relation names in insertion order.
@@ -149,7 +175,7 @@ func (s *Store) Relations() []string {
 	return out
 }
 
-// Size returns the total number of tuples in the store.
+// Size returns the total number of live tuples in the store.
 func (s *Store) Size() int {
 	n := 0
 	for _, r := range s.rels {
@@ -158,27 +184,18 @@ func (s *Store) Size() int {
 	return n
 }
 
-// Clone returns a deep copy of the store sharing the symbol table. Indexes
-// are not copied; they rebuild lazily. Counters start at zero.
+// Clone returns a deep copy of the store sharing the symbol table. The
+// copy is compacted: tombstoned slots are not carried over. Indexes are
+// not copied; they rebuild lazily. Counters start at zero.
 func (s *Store) Clone() *Store {
 	out := NewStore(s.st)
 	for _, name := range s.names {
 		r := s.rels[name]
 		nr := newRelation(out, name, r.arity)
 		nr.shard = uint32(len(out.names))
-		nr.flat = append([]symtab.Sym(nil), r.flat...)
-		nr.n = r.n
-		for k := range r.seen {
-			nr.seen[k] = true
-		}
-		for k := range r.seenWide {
-			if nr.seenWide == nil {
-				nr.seenWide = make(map[string]bool, len(r.seenWide))
-			}
-			nr.seenWide[k] = true
-		}
 		out.rels[name] = nr
 		out.names = append(out.names, name)
+		r.eachRaw(func(t []symtab.Sym) { nr.insert(t) })
 	}
 	return out
 }
@@ -199,19 +216,43 @@ func packKey(args []symtab.Sym) packedKey {
 }
 
 // Relation is one stored relation. Tuples live in a flat slice with a
-// stride of arity; indexes map encoded bound-column values to tuple
-// offsets and are built on first use per binding pattern.
+// stride of arity; a slot is one tuple's position in that slice. Removal
+// tombstones the slot (the dead bitset) instead of moving tuples, so
+// index offsets and the published CSR stay valid; indexes map encoded
+// bound-column values to live slots and are built on first use per
+// binding pattern.
 type Relation struct {
 	store *Store
 	name  string
 	arity int
 	shard uint32 // base shard for this relation's counter updates
-	n     int    // tuple count (flat length / arity, except for arity 0)
+	n     int    // slot count: tuples ever appended, live or dead
+	live  int    // live tuple count (n minus tombstones)
 	flat  []symtab.Sym
-	// seen dedupes tuples of arity <= packedKeyCols without allocating;
-	// seenWide handles wider tuples with encoded string keys.
-	seen     map[packedKey]bool
-	seenWide map[string]bool
+	// seen maps a live tuple to its slot, deduping inserts without
+	// allocating for arity <= packedKeyCols; seenWide handles wider
+	// tuples with encoded string keys. A removed tuple leaves the map, so
+	// re-asserting it appends a fresh slot.
+	seen     map[packedKey]int32
+	seenWide map[string]int32
+	// dead is the tombstone bitset over slots; nil until the first
+	// removal. retracts counts removals monotonically and gen counts
+	// flat-storage compactions — together with the slot count they let a
+	// published CSR detect exactly which overlay work a probe owes.
+	dead     []uint64
+	retracts uint32
+	gen      uint32
+	// ver increments on every mutation and compaction: a CSR stamped
+	// with the current ver is exactly up to date, making the warm-probe
+	// staleness test one comparison.
+	ver uint64
+	// retractLog records recently removed binary tuples so overlay
+	// probes and CSR refreshes filter only the keys a retract actually
+	// touched; entry i is retract ordinal logBase+i. The log is trimmed
+	// (logBase advances) past retractLogMax — a CSR older than the log
+	// falls back to filtering every key through the liveness map.
+	retractLog [][2]symtab.Sym
+	logBase    uint32
 	// mu guards lazy construction of the structures below; readers go
 	// through the atomic pointers without locking, so concurrent probes
 	// scale while a racing first build happens exactly once.
@@ -219,25 +260,30 @@ type Relation struct {
 	// indexes[mask] indexes the columns whose bit is set in mask. The
 	// outer map is copy-on-write: adding a mask publishes a new map.
 	indexes atomic.Pointer[map[uint32]map[string][]int32]
-	// fwd and rev are the CSR adjacency of binary relations. They are
-	// published copy-on-write: a probe that finds the CSR stale (built
-	// from fewer tuples than the relation now holds) scans the small
-	// insert tail linearly, and rebuilds/republishes under mu once the
-	// tail passes adjTailMax — so bulk-load-then-query pays one O(m)
-	// build with every later probe two array loads, and interleaved
-	// insert/probe pays bounded tail scans with a rebuild at most once
-	// per adjTailMax inserts.
+	// fwd and rev are the CSR adjacency of binary relations, published
+	// copy-on-write. A probe that finds the CSR behind the relation
+	// absorbs the difference as an overlay: freshly appended slots are
+	// scanned linearly (append-only overlay) and freshly tombstoned
+	// tuples are filtered out via the seen map. Once the pending window
+	// passes adjTailMax the CSR is refreshed by merging the previous
+	// arrays with the overlay — not re-sorted from scratch — and a
+	// compaction (gen bump) forces the one full rebuild it needs.
 	fwd atomic.Pointer[csr]
 	rev atomic.Pointer[csr]
 }
 
 // csr is compressed-sparse-row adjacency: the neighbors of u are
 // nbr[off[u]:off[u+1]]. off is indexed directly by the dense Sym value
-// and sized to the largest key present at build time.
+// and sized to the largest key present at build time. slots, retracts
+// and gen record the relation state the build covered; a mismatch with
+// the live relation means the probe owes overlay work.
 type csr struct {
-	n   int // tuples covered by this build; != Relation.n means stale
-	off []int32
-	nbr []symtab.Sym
+	slots    int
+	retracts uint32
+	gen      uint32
+	ver      uint64
+	off      []int32
+	nbr      []symtab.Sym
 }
 
 // lookup returns the neighbor slice of u, aliasing the CSR arrays.
@@ -254,7 +300,7 @@ func newRelation(s *Store, name string, arity int) *Relation {
 		store: s,
 		name:  name,
 		arity: arity,
-		seen:  make(map[packedKey]bool),
+		seen:  make(map[packedKey]int32),
 	}
 	idx := make(map[uint32]map[string][]int32)
 	r.indexes.Store(&idx)
@@ -271,68 +317,219 @@ func (r *Relation) Counters() *CounterSet { return &r.store.Counters }
 // Arity returns the number of columns.
 func (r *Relation) Arity() int { return r.arity }
 
-// Len returns the number of tuples. Zero-arity relations (propositional
-// predicates) hold at most one tuple, the empty tuple.
+// Len returns the number of live tuples. Zero-arity relations
+// (propositional predicates) hold at most one tuple, the empty tuple.
 func (r *Relation) Len() int {
 	if r == nil {
 		return 0
 	}
-	return r.n
+	return r.live
 }
 
-func (r *Relation) insert(args []symtab.Sym) {
+// isDead reports whether the slot is tombstoned.
+func (r *Relation) isDead(slot int) bool {
+	w := slot >> 6
+	return w < len(r.dead) && r.dead[w]&(1<<(uint(slot)&63)) != 0
+}
+
+// markDead tombstones the slot.
+func (r *Relation) markDead(slot int) {
+	w := slot >> 6
+	for w >= len(r.dead) {
+		r.dead = append(r.dead, 0)
+	}
+	r.dead[w] |= 1 << (uint(slot) & 63)
+}
+
+func (r *Relation) insert(args []symtab.Sym) bool {
 	if len(args) != r.arity {
 		panic(fmt.Sprintf("edb: %s arity %d, got %d args", r.name, r.arity, len(args)))
 	}
+	slot := int32(r.n)
 	if r.arity <= packedKeyCols {
 		key := packKey(args)
-		if r.seen[key] {
-			return
+		if _, ok := r.seen[key]; ok {
+			return false
 		}
-		r.seen[key] = true
+		r.seen[key] = slot
 	} else {
 		key := encode(args)
 		if r.seenWide == nil {
-			r.seenWide = make(map[string]bool)
+			r.seenWide = make(map[string]int32)
 		}
-		if r.seenWide[key] {
-			return
+		if _, ok := r.seenWide[key]; ok {
+			return false
 		}
-		r.seenWide[key] = true
+		r.seenWide[key] = slot
 	}
 	r.flat = append(r.flat, args...)
 	r.n++
+	r.live++
+	r.ver++
 	// Appending keeps existing index entries valid, so extend the n-ary
 	// indexes in place; the CSR adjacency picks the new tuple up via the
-	// probe-side tail scan and rebuilds lazily once the tail grows (its
-	// build count no longer matches r.n). Mutation requires external
-	// exclusion of readers (see Store doc), so updating the published
-	// maps in place is safe here.
+	// probe-side tail scan and refreshes once the overlay grows (its
+	// build state no longer matches the relation's). Mutation requires
+	// external exclusion of readers (see Store doc), so updating the
+	// published maps in place is safe here.
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	idx := int32(r.n - 1)
 	for mask, m := range *r.indexes.Load() {
 		k := encodeMasked(args, mask)
-		m[k] = append(m[k], idx)
+		m[k] = append(m[k], slot)
 	}
+	return true
 }
 
-// Tuple returns the i-th tuple (aliasing internal storage; callers must
-// not mutate it).
+// remove tombstones the tuple and reports whether it was present. A
+// wrong-arity tuple was by definition never inserted, so — unlike
+// insert, which panics to catch load-time bugs — it is a false no-op.
+func (r *Relation) remove(args []symtab.Sym) bool {
+	if len(args) != r.arity {
+		return false
+	}
+	var slot int32
+	if r.arity <= packedKeyCols {
+		key := packKey(args)
+		s, ok := r.seen[key]
+		if !ok {
+			return false
+		}
+		delete(r.seen, key)
+		slot = s
+	} else {
+		key := encode(args)
+		s, ok := r.seenWide[key]
+		if !ok {
+			return false
+		}
+		delete(r.seenWide, key)
+		slot = s
+	}
+	r.markDead(int(slot))
+	r.live--
+	r.retracts++
+	r.ver++
+	if r.arity == 2 {
+		r.retractLog = append(r.retractLog, [2]symtab.Sym{args[0], args[1]})
+		if len(r.retractLog) > retractLogMax {
+			drop := len(r.retractLog) / 2
+			r.retractLog = append(r.retractLog[:0], r.retractLog[drop:]...)
+			r.logBase += uint32(drop)
+		}
+	}
+	// Drop the slot from every built index bucket; buckets hold live
+	// slots only, so Match needs no per-offset liveness check.
+	r.mu.Lock()
+	for mask, m := range *r.indexes.Load() {
+		k := encodeMasked(args, mask)
+		bucket := m[k]
+		for i, off := range bucket {
+			if off == slot {
+				m[k] = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(m[k]) == 0 {
+			delete(m, k)
+		}
+	}
+	r.mu.Unlock()
+	r.maybeCompact()
+	return true
+}
+
+// maybeCompact rewrites the flat storage once tombstones dominate it:
+// more than adjTailMax dead slots and at least half the slots dead. The
+// threshold keeps sustained assert/retract churn from growing the slot
+// space without bound while staying rare enough that the incremental CSR
+// refresh, not the post-compaction rebuild, is the common path.
+func (r *Relation) maybeCompact() {
+	dead := r.n - r.live
+	if dead <= adjTailMax || dead*2 < r.n {
+		return
+	}
+	stride := r.arity
+	w := 0
+	for i := 0; i < r.n; i++ {
+		if r.isDead(i) {
+			continue
+		}
+		if stride > 0 && w != i {
+			copy(r.flat[w*stride:(w+1)*stride], r.flat[i*stride:(i+1)*stride])
+		}
+		w++
+	}
+	if stride > 0 {
+		r.flat = r.flat[:w*stride]
+	}
+	r.n = w
+	r.dead = nil
+	r.gen++ // any published CSR is now addressed in pre-compaction slots
+	r.ver++
+	// A gen mismatch forces a full rebuild, so the log has no consumers.
+	r.retractLog = nil
+	r.logBase = r.retracts
+	if r.arity <= packedKeyCols {
+		clear(r.seen)
+		for i := 0; i < r.n; i++ {
+			r.seen[packKey(r.Tuple(i))] = int32(i)
+		}
+	} else {
+		clear(r.seenWide)
+		for i := 0; i < r.n; i++ {
+			r.seenWide[encode(r.Tuple(i))] = int32(i)
+		}
+	}
+	// Index buckets hold pre-compaction slots; drop them (they rebuild
+	// lazily) and unpublish the CSRs so they do not pin the old arrays.
+	r.mu.Lock()
+	idx := make(map[uint32]map[string][]int32)
+	r.indexes.Store(&idx)
+	r.fwd.Store(nil)
+	r.rev.Store(nil)
+	r.mu.Unlock()
+}
+
+// Tuple returns the tuple in slot i (aliasing internal storage; callers
+// must not mutate it). Slots include tombstoned tuples: code iterating a
+// relation that may have seen removals must use Each/EachRaw, which skip
+// them; direct slot loops are only exact for insert-only relations.
 func (r *Relation) Tuple(i int) []symtab.Sym {
 	return r.flat[i*r.arity : (i+1)*r.arity]
 }
 
-// Each calls f for every tuple. The slice passed to f aliases internal
-// storage. Iteration counts as retrieving every tuple.
+// Each calls f for every live tuple. The slice passed to f aliases
+// internal storage. Iteration counts as retrieving every live tuple.
 func (r *Relation) Each(f func(tuple []symtab.Sym)) {
 	if r == nil {
 		return
 	}
-	n := r.Len()
-	r.store.Counters.count(r.shard, int64(n))
-	for i := 0; i < n; i++ {
-		f(r.Tuple(i))
+	r.store.Counters.count(r.shard, int64(r.live))
+	r.eachRaw(f)
+}
+
+// EachRaw calls f for every live tuple without touching the retrieval
+// counters — the iteration surface for persistence dumps and domain
+// scans whose cost the paper's accounting deliberately excludes.
+func (r *Relation) EachRaw(f func(tuple []symtab.Sym)) {
+	if r == nil {
+		return
+	}
+	r.eachRaw(f)
+}
+
+func (r *Relation) eachRaw(f func(tuple []symtab.Sym)) {
+	if r.live == r.n {
+		for i := 0; i < r.n; i++ {
+			f(r.Tuple(i))
+		}
+		return
+	}
+	for i := 0; i < r.n; i++ {
+		if !r.isDead(i) {
+			f(r.Tuple(i))
+		}
 	}
 }
 
@@ -344,9 +541,9 @@ func (r *Relation) Contains(args []symtab.Sym) bool {
 	}
 	var ok bool
 	if len(args) <= packedKeyCols {
-		ok = r.seen[packKey(args)]
+		_, ok = r.seen[packKey(args)]
 	} else {
-		ok = r.seenWide[encode(args)]
+		_, ok = r.seenWide[encode(args)]
 	}
 	var h uint32
 	if len(args) > 0 {
@@ -360,84 +557,251 @@ func (r *Relation) Contains(args []symtab.Sym) bool {
 	return false
 }
 
-// adjTailMax bounds how many freshly inserted tuples a probe will scan
-// linearly before forcing a CSR rebuild. Probes therefore pay at most a
-// constant-size tail scan, and a rebuild happens at most once per
-// adjTailMax inserts — interleaved insert/probe costs O(m/adjTailMax)
-// amortized per insert instead of a full rebuild on every first probe
-// after an insert.
+// adjTailMax bounds how many pending mutations (appended slots plus
+// tombstoned tuples) a probe will absorb as an overlay before forcing a
+// CSR refresh. Probes therefore pay at most a constant-size overlay
+// pass, and a refresh happens at most once per adjTailMax mutations —
+// interleaved mutate/probe costs O(m/adjTailMax) amortized per mutation
+// instead of a full rebuild on every first probe after a change.
 const adjTailMax = 64
 
-// lookupAdj answers one adjacency probe: the CSR prefix plus a linear
-// scan of the insert tail the CSR does not cover yet. The common warm
-// case (no tail) aliases the CSR and performs no allocation; a probe
-// whose key matches in a pending tail returns a fresh combined slice.
-func (r *Relation) lookupAdj(p *atomic.Pointer[csr], keyCol, valCol int, key symtab.Sym) []symtab.Sym {
-	c := p.Load()
-	if c == nil || r.n-c.n > adjTailMax {
-		c = r.rebuildAdj(p, keyCol, valCol)
+// retractLogMax bounds the recent-retraction log; large enough that
+// every CSR refresh window (adjTailMax pending mutations) fits with
+// slack, small enough to be negligible memory.
+const retractLogMax = 256
+
+// pendingDead returns the retractions applied since the CSR build, or
+// ok=false when the log has been trimmed past the build point (callers
+// then filter conservatively through the liveness map).
+func (r *Relation) pendingDead(c *csr) ([][2]symtab.Sym, bool) {
+	if c.retracts < r.logBase {
+		return nil, false
 	}
-	out := c.lookup(key)
-	if c.n == r.n {
-		return out
-	}
-	// Tail scan: tuples inserted since the CSR build, in insertion order
-	// (mutation requires external exclusion of readers, so flat and r.n
-	// are stable here).
-	copied := false
-	for i := c.n; i < r.n; i++ {
-		t := r.Tuple(i)
-		if t[keyCol] != key {
-			continue
-		}
-		if !copied {
-			out = append(append(make([]symtab.Sym, 0, len(out)+1), out...), t[valCol])
-			copied = true
-		} else {
-			out = append(out, t[valCol])
-		}
-	}
-	return out
+	return r.retractLog[c.retracts-r.logBase:], true
 }
 
-// rebuildAdj builds the CSR for the given direction from the full tuple
-// list and publishes it. keyCol indexes the CSR, valCol is the neighbor
-// column.
-func (r *Relation) rebuildAdj(p *atomic.Pointer[csr], keyCol, valCol int) *csr {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c := p.Load(); c != nil && c.n == r.n {
-		return c
+// lookupAdj answers one adjacency probe: the CSR prefix plus the overlay
+// the CSR does not cover yet. The common warm case (no pending
+// mutations) aliases the CSR and performs no allocation. An insert-only
+// overlay aliases the prefix too, copying only when a pending tuple
+// matches the key; an overlay containing retractions filters the prefix
+// through the liveness map into a fresh slice.
+func (r *Relation) lookupAdj(p *atomic.Pointer[csr], keyCol, valCol int, key symtab.Sym) []symtab.Sym {
+	c := p.Load()
+	if c != nil && c.ver == r.ver {
+		return c.lookup(key) // warm: the CSR is exactly current
 	}
-	n := r.n
-	maxKey := -1
-	for i := 0; i < n; i++ {
-		if k := int(r.Tuple(i)[keyCol]); k > maxKey {
-			maxKey = k
+	if c == nil || c.gen != r.gen || (r.n-c.slots)+int(r.retracts-c.retracts) > adjTailMax {
+		c = r.refreshAdj(p, keyCol, valCol)
+	}
+	out := c.lookup(key)
+	if c.slots == r.n && c.retracts == r.retracts {
+		return out
+	}
+	keyClean := c.retracts == r.retracts
+	if !keyClean {
+		// Retractions pending — but the recent-retraction log usually
+		// shows none of them touched this key, in which case the prefix
+		// is still exact and only the tail needs scanning.
+		if dead, ok := r.pendingDead(c); ok {
+			keyClean = true
+			for _, d := range dead {
+				if d[keyCol] == key {
+					keyClean = false
+					break
+				}
+			}
 		}
 	}
-	c := &csr{n: n, off: make([]int32, maxKey+2), nbr: make([]symtab.Sym, n)}
-	// Counting sort: tally per key, prefix-sum, then scatter.
-	for i := 0; i < n; i++ {
-		c.off[int(r.Tuple(i)[keyCol])+1]++
+	if keyClean {
+		// Append-only overlay for this key: the prefix is fully live, so
+		// alias it and scan the pending slots in insertion order
+		// (mutation requires external exclusion of readers, so flat and
+		// r.n are stable here). A tail slot retracted again would have
+		// logged this key, so live-ness checks are only for safety.
+		copied := false
+		for i := c.slots; i < r.n; i++ {
+			if r.isDead(i) {
+				continue
+			}
+			t := r.Tuple(i)
+			if t[keyCol] != key {
+				continue
+			}
+			if !copied {
+				out = append(append(make([]symtab.Sym, 0, len(out)+1), out...), t[valCol])
+				copied = true
+			} else {
+				out = append(out, t[valCol])
+			}
+		}
+		return out
 	}
-	for i := 1; i < len(c.off); i++ {
-		c.off[i] += c.off[i-1]
+	// This key had retractions: keep a prefix neighbor only if its tuple
+	// is still live and owned by the CSR build (a retract-then-reassert
+	// moved it into the tail, which re-adds it below), then scan the
+	// tail for live appends.
+	res := make([]symtab.Sym, 0, len(out)+2)
+	var tu [2]symtab.Sym
+	for _, v := range out {
+		tu[keyCol], tu[valCol] = key, v
+		if s, ok := r.seen[packKey(tu[:])]; ok && int(s) < c.slots {
+			res = append(res, v)
+		}
 	}
-	fill := make([]int32, maxKey+1)
-	for i := 0; i < n; i++ {
+	for i := c.slots; i < r.n; i++ {
+		if r.isDead(i) {
+			continue
+		}
 		t := r.Tuple(i)
-		k := int(t[keyCol])
-		c.nbr[c.off[k]+fill[k]] = t[valCol]
-		fill[k]++
+		if t[keyCol] == key {
+			res = append(res, t[valCol])
+		}
+	}
+	return res
+}
+
+// refreshAdj brings the published CSR up to date and returns it. When a
+// same-generation CSR exists the refresh is incremental: the previous
+// arrays are merged with the overlay (tombstoned tuples dropped, tail
+// slots spliced in key order) without re-reading the whole flat storage.
+// A first build — or one after a compaction invalidated slot addressing
+// — falls back to the counting-sort construction over the live slots.
+func (r *Relation) refreshAdj(p *atomic.Pointer[csr], keyCol, valCol int) *csr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := p.Load(); c != nil && c.ver == r.ver {
+		return c
+	}
+	var c *csr
+	if old := p.Load(); old != nil && old.gen == r.gen {
+		c = r.mergeAdjLocked(old, keyCol, valCol)
+	} else {
+		c = r.buildAdjLocked(keyCol, valCol)
 	}
 	p.Store(c)
 	return c
 }
 
+// buildAdjLocked constructs the CSR from the full tuple list by counting
+// sort, skipping tombstoned slots. keyCol indexes the CSR, valCol is the
+// neighbor column. The caller holds r.mu.
+func (r *Relation) buildAdjLocked(keyCol, valCol int) *csr {
+	maxKey := -1
+	for i := 0; i < r.n; i++ {
+		if r.isDead(i) {
+			continue
+		}
+		if k := int(r.Tuple(i)[keyCol]); k > maxKey {
+			maxKey = k
+		}
+	}
+	c := &csr{
+		slots:    r.n,
+		retracts: r.retracts,
+		gen:      r.gen,
+		ver:      r.ver,
+		off:      make([]int32, maxKey+2),
+		nbr:      make([]symtab.Sym, r.live),
+	}
+	// Counting sort: tally per key, prefix-sum, then scatter.
+	for i := 0; i < r.n; i++ {
+		if !r.isDead(i) {
+			c.off[int(r.Tuple(i)[keyCol])+1]++
+		}
+	}
+	for i := 1; i < len(c.off); i++ {
+		c.off[i] += c.off[i-1]
+	}
+	fill := make([]int32, maxKey+1)
+	for i := 0; i < r.n; i++ {
+		if r.isDead(i) {
+			continue
+		}
+		t := r.Tuple(i)
+		k := int(t[keyCol])
+		c.nbr[c.off[k]+fill[k]] = t[valCol]
+		fill[k]++
+	}
+	return c
+}
+
+// mergeAdjLocked refreshes a same-generation CSR incrementally: walk the
+// previous arrays once, dropping neighbors whose tuple was tombstoned,
+// and splice the live tail slots in at their key — O(previous + tail)
+// with no re-sort of the relation. The caller holds r.mu.
+func (r *Relation) mergeAdjLocked(old *csr, keyCol, valCol int) *csr {
+	type tailEnt struct {
+		key symtab.Sym
+		val symtab.Sym
+	}
+	maxKey := len(old.off) - 2
+	var tail []tailEnt
+	for i := old.slots; i < r.n; i++ {
+		if r.isDead(i) {
+			continue
+		}
+		t := r.Tuple(i)
+		if k := int(t[keyCol]); k > maxKey {
+			maxKey = k
+		}
+		tail = append(tail, tailEnt{t[keyCol], t[valCol]})
+	}
+	// Stable by key so insertion order within one key is preserved,
+	// matching what a full rebuild would produce.
+	slices.SortStableFunc(tail, func(a, b tailEnt) int { return int(a.key) - int(b.key) })
+	c := &csr{
+		slots:    r.n,
+		retracts: r.retracts,
+		gen:      r.gen,
+		ver:      r.ver,
+		off:      make([]int32, maxKey+2),
+		nbr:      make([]symtab.Sym, 0, len(old.nbr)+len(tail)),
+	}
+	// Only keys the recent-retraction log names need the per-neighbor
+	// liveness filter; every other key's neighbor list is copied
+	// wholesale. With a trimmed log (affected == nil, filterAll) every
+	// key filters — correct, just slower.
+	filterAll := false
+	var affected map[symtab.Sym]bool
+	if old.retracts != r.retracts {
+		if dead, ok := r.pendingDead(old); ok {
+			affected = make(map[symtab.Sym]bool, len(dead))
+			for _, d := range dead {
+				affected[d[keyCol]] = true
+			}
+		} else {
+			filterAll = true
+		}
+	}
+	ti := 0
+	var tu [2]symtab.Sym
+	for u := 0; u <= maxKey; u++ {
+		c.off[u] = int32(len(c.nbr))
+		olds := old.lookup(symtab.Sym(u))
+		if filterAll || affected[symtab.Sym(u)] {
+			for _, v := range olds {
+				tu[keyCol], tu[valCol] = symtab.Sym(u), v
+				if s, ok := r.seen[packKey(tu[:])]; !ok || int(s) >= old.slots {
+					continue
+				}
+				c.nbr = append(c.nbr, v)
+			}
+		} else {
+			c.nbr = append(c.nbr, olds...)
+		}
+		for ti < len(tail) && int(tail[ti].key) == u {
+			c.nbr = append(c.nbr, tail[ti].val)
+			ti++
+		}
+	}
+	c.off[maxKey+1] = int32(len(c.nbr))
+	return c
+}
+
 // Successors returns all v with r(u, v). Binary relations only. The
 // returned slice aliases the CSR adjacency; the warm path (CSR current,
-// no pending insert tail) performs no allocation and no hashing.
+// no pending overlay) performs no allocation and no hashing.
 func (r *Relation) Successors(u symtab.Sym) []symtab.Sym {
 	if r == nil {
 		return nil
@@ -488,22 +852,21 @@ func (r *Relation) PredecessorsRaw(v symtab.Sym) []symtab.Sym {
 	return r.lookupAdj(&r.rev, 1, 0, v)
 }
 
-// Domain returns the sorted distinct values of column col.
+// Domain returns the sorted distinct values of column col across live
+// tuples.
 func (r *Relation) Domain(col int) []symtab.Sym {
 	if r == nil {
 		return nil
 	}
 	out := make([]symtab.Sym, 0, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		out = append(out, r.Tuple(i)[col])
-	}
+	r.eachRaw(func(t []symtab.Sym) { out = append(out, t[col]) })
 	slices.Sort(out)
 	return slices.Compact(out)
 }
 
-// Match returns the offsets of tuples whose columns selected by mask equal
-// the corresponding entries of bound. bound must have one entry per set
-// bit of mask, in column order. Use MatchTuples to materialize.
+// Match returns the slots of live tuples whose columns selected by mask
+// equal the corresponding entries of bound. bound must have one entry per
+// set bit of mask, in column order. Use MatchTuples to materialize.
 func (r *Relation) Match(mask uint32, bound []symtab.Sym) []int32 {
 	if r == nil {
 		return nil
@@ -513,11 +876,12 @@ func (r *Relation) Match(mask uint32, bound []symtab.Sym) []int32 {
 		h = uint32(bound[0])
 	}
 	if mask == 0 {
-		n := r.Len()
-		r.store.Counters.count(r.shard, int64(n))
-		out := make([]int32, n)
-		for i := range out {
-			out[i] = int32(i)
+		r.store.Counters.count(r.shard, int64(r.live))
+		out := make([]int32, 0, r.live)
+		for i := 0; i < r.n; i++ {
+			if !r.isDead(i) {
+				out = append(out, int32(i))
+			}
 		}
 		return out
 	}
@@ -527,7 +891,10 @@ func (r *Relation) Match(mask uint32, bound []symtab.Sym) []int32 {
 		cur := *r.indexes.Load()
 		if idx, ok = cur[mask]; !ok {
 			idx = make(map[string][]int32)
-			for i := 0; i < r.Len(); i++ {
+			for i := 0; i < r.n; i++ {
+				if r.isDead(i) {
+					continue
+				}
 				k := encodeMasked(r.Tuple(i), mask)
 				idx[k] = append(idx[k], int32(i))
 			}

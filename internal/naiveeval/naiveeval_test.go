@@ -1,0 +1,83 @@
+package naiveeval
+
+import (
+	"reflect"
+	"testing"
+
+	"chainlog/internal/ast"
+	"chainlog/internal/parser"
+	"chainlog/internal/symtab"
+)
+
+func parseProg(t *testing.T, st *symtab.Table, src string) *ast.Program {
+	t.Helper()
+	res, err := parser.Parse(src, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Program
+}
+
+// The oracle computes transitive closure, tracks retractions, and
+// filters repeated variables — the semantics the differential harness
+// leans on.
+func TestOracleBasics(t *testing.T) {
+	st := symtab.NewTable()
+	prog := parseProg(t, st, `
+tc(X, Y) :- e(X, Y).
+tc(X, Z) :- e(X, Y), tc(Y, Z).
+`)
+	f := NewFacts()
+	a, b, c := st.Intern("a"), st.Intern("b"), st.Intern("c")
+	f.Assert("e", []symtab.Sym{a, b})
+	f.Assert("e", []symtab.Sym{b, c})
+
+	q := ast.Query{Literal: ast.Atom("tc", ast.C(a), ast.V("Y"))}
+	got := Answer(prog, f, st, q)
+	want := [][]symtab.Sym{{b}, {c}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tc(a, Y) = %v, want %v", got, want)
+	}
+
+	// Retract e(b, c): c is no longer reachable.
+	if !f.Retract("e", []symtab.Sym{b, c}) {
+		t.Fatal("retract of a present fact returned false")
+	}
+	if f.Retract("e", []symtab.Sym{b, c}) {
+		t.Fatal("second retract of the same fact returned true")
+	}
+	got = Answer(prog, f, st, q)
+	if !reflect.DeepEqual(got, [][]symtab.Sym{{b}}) {
+		t.Fatalf("after retract: tc(a, Y) = %v", got)
+	}
+
+	// Repeated variables: tc(X, X) is empty on this acyclic graph.
+	f.Assert("e", []symtab.Sym{b, c})
+	diag := ast.Query{Literal: ast.Atom("tc", ast.V("X"), ast.V("X"))}
+	if rows := Answer(prog, f, st, diag); len(rows) != 0 {
+		t.Fatalf("tc(X, X) on acyclic data = %v", rows)
+	}
+	// Close the cycle and the whole loop satisfies tc(X, X).
+	f.Assert("e", []symtab.Sym{c, a})
+	if rows := Answer(prog, f, st, diag); len(rows) != 3 {
+		t.Fatalf("tc(X, X) on a 3-cycle = %v", rows)
+	}
+}
+
+// Built-in comparisons filter derivations regardless of their position
+// in the body.
+func TestOracleBuiltins(t *testing.T) {
+	st := symtab.NewTable()
+	prog := parseProg(t, st, `
+small(X, Y) :- e(X, Y), X < Y.
+`)
+	f := NewFacts()
+	one, two := st.Intern("1"), st.Intern("2")
+	f.Assert("e", []symtab.Sym{one, two})
+	f.Assert("e", []symtab.Sym{two, one})
+	q := ast.Query{Literal: ast.Atom("small", ast.V("X"), ast.V("Y"))}
+	got := Answer(prog, f, st, q)
+	if !reflect.DeepEqual(got, [][]symtab.Sym{{one, two}}) {
+		t.Fatalf("small = %v", got)
+	}
+}

@@ -1,0 +1,456 @@
+package chainlog
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"chainlog/internal/automaton"
+	"chainlog/internal/equations"
+)
+
+// Fact-only mutations move only the fact epoch; rule loads, store
+// replacement and Invalidate move the rule epoch.
+func TestEpochSplit(t *testing.T) {
+	db := mustDB(t, sgSrc)
+	r0, f0 := db.Epochs()
+
+	if !db.Assert("up", "zz1", "zz2") {
+		t.Fatal("Assert of a new fact returned false")
+	}
+	r1, f1 := db.Epochs()
+	if r1 != r0 || f1 != f0+1 {
+		t.Fatalf("Assert moved epochs (%d,%d) -> (%d,%d); want fact-only", r0, f0, r1, f1)
+	}
+	// Duplicate assert: no movement.
+	if db.Assert("up", "zz1", "zz2") {
+		t.Fatal("duplicate Assert returned true")
+	}
+	if r, f := db.Epochs(); r != r1 || f != f1 {
+		t.Fatal("duplicate Assert moved an epoch")
+	}
+	// Retract moves the fact epoch; retracting again does not.
+	if !db.Retract("up", "zz1", "zz2") {
+		t.Fatal("Retract of a present fact returned false")
+	}
+	if _, f := db.Epochs(); f != f1+1 {
+		t.Fatal("Retract did not move the fact epoch")
+	}
+	if db.Retract("up", "zz1", "zz2") {
+		t.Fatal("second Retract returned true")
+	}
+	if db.Retract("up", "never", "asserted") {
+		t.Fatal("Retract of a never-asserted fact returned true")
+	}
+	if db.Retract("nosuchpred", "a", "b") {
+		t.Fatal("Retract on an unknown predicate returned true")
+	}
+	// A wrong-arity tuple was never asserted: false no-op, no panic —
+	// also inside a Delta, where a panic would abort the batch midway.
+	if db.Retract("up", "zz3") {
+		t.Fatal("wrong-arity Retract returned true")
+	}
+	if res := db.Apply((&Delta{}).Retract("up", "zz3")); res != (ApplyResult{}) {
+		t.Fatalf("wrong-arity Apply = %+v", res)
+	}
+	rBefore, fBefore := db.Epochs()
+
+	// A facts-only load is a fact mutation.
+	if err := db.LoadProgram("up(zz3, zz4)."); err != nil {
+		t.Fatal(err)
+	}
+	if r, f := db.Epochs(); r != rBefore || f != fBefore+1 {
+		t.Fatal("facts-only LoadProgram did not move only the fact epoch")
+	}
+	// A load with rules is a rule mutation.
+	if err := db.LoadProgram("other(X, Y) :- up(X, Y)."); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := db.Epochs(); r != rBefore+1 {
+		t.Fatal("rule LoadProgram did not move the rule epoch")
+	}
+	db.Invalidate()
+	if r, _ := db.Epochs(); r != rBefore+2 {
+		t.Fatal("Invalidate did not move the rule epoch")
+	}
+}
+
+// The acceptance criterion of the live-update engine: a Prepared's Run
+// after Assert/Retract performs no plan recompilation — no equation
+// transformation and no automaton compilation — while still seeing every
+// change.
+func TestPreparedNoRecompileOnFactMutation(t *testing.T) {
+	db := mustDB(t, `
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b).
+`)
+	tc, err := db.Prepare("tc(?, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	tBefore, cBefore := equations.TransformCount(), automaton.CompileCount()
+	db.Assert("edge", "b", "c")
+	ans, err := tc.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Rows, [][]string{{"b"}, {"c"}}) {
+		t.Fatalf("after assert: %v", ans.Rows)
+	}
+	db.Retract("edge", "b", "c")
+	ans, err = tc.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Rows, [][]string{{"b"}}) {
+		t.Fatalf("after retract: %v", ans.Rows)
+	}
+	// A long churn streak keeps the same compiled plan hot.
+	for i := 0; i < 50; i++ {
+		db.Assert("edge", "b", fmt.Sprintf("x%d", i))
+		if _, err := tc.Run("a"); err != nil {
+			t.Fatal(err)
+		}
+		db.Retract("edge", "b", fmt.Sprintf("x%d", i))
+	}
+	if tAfter := equations.TransformCount(); tAfter != tBefore {
+		t.Fatalf("equation transforms ran on the fact-mutation path: %d -> %d", tBefore, tAfter)
+	}
+	if cAfter := automaton.CompileCount(); cAfter != cBefore {
+		t.Fatalf("automaton compiles ran on the fact-mutation path: %d -> %d", cBefore, cAfter)
+	}
+}
+
+// Plan-cache accounting across mutation kinds: fact mutations keep the
+// cache (hits keep accruing, no recompiles), rule mutations clear it
+// (the next query is a miss).
+func TestPlanCacheSurvivesFactChurn(t *testing.T) {
+	db := mustDB(t, `
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b).
+`)
+	if _, err := db.Query("tc(a, Y)"); err != nil {
+		t.Fatal(err)
+	}
+	st := db.PlanCacheStats()
+	if st.Size != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("after first query: %+v", st)
+	}
+
+	for i := 0; i < 5; i++ {
+		db.Assert("edge", "b", fmt.Sprintf("n%d", i))
+		if _, err := db.Query("tc(a, Y)"); err != nil {
+			t.Fatal(err)
+		}
+		db.Retract("edge", "b", fmt.Sprintf("n%d", i))
+		if _, err := db.Query("tc(a, Y)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = db.PlanCacheStats()
+	if st.Size != 1 || st.Misses != 1 || st.Hits != 10 {
+		t.Fatalf("after fact churn: %+v, want size 1, 1 miss, 10 hits", st)
+	}
+
+	// A rule mutation clears the cache: next query misses.
+	if err := db.LoadProgram("tc2(X, Y) :- edge(X, Y)."); err != nil {
+		t.Fatal(err)
+	}
+	st = db.PlanCacheStats()
+	if st.Size != 0 {
+		t.Fatalf("rule mutation left %d cached plans", st.Size)
+	}
+	if _, err := db.Query("tc(a, Y)"); err != nil {
+		t.Fatal(err)
+	}
+	st = db.PlanCacheStats()
+	if st.Misses != 2 {
+		t.Fatalf("after rule mutation: %+v, want a second miss", st)
+	}
+}
+
+// AssertBatch and Apply mutate atomically: one lock, one fact-epoch
+// movement, net-change accounting.
+func TestApplyBatch(t *testing.T) {
+	db := mustDB(t, `
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b).
+`)
+	_, f0 := db.Epochs()
+	n := db.AssertBatch([]Fact{
+		{Pred: "edge", Args: []string{"b", "c"}},
+		{Pred: "edge", Args: []string{"c", "d"}},
+		{Pred: "edge", Args: []string{"a", "b"}}, // duplicate
+	})
+	if n != 2 {
+		t.Fatalf("AssertBatch inserted %d, want 2", n)
+	}
+	if _, f := db.Epochs(); f != f0+1 {
+		t.Fatalf("AssertBatch moved the fact epoch %d times, want 1", f-f0)
+	}
+	ans, err := db.Query("tc(a, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Rows, [][]string{{"b"}, {"c"}, {"d"}}) {
+		t.Fatalf("after batch: %v", ans.Rows)
+	}
+
+	// A mixed delta, in order: assert then retract the same fact nets to
+	// absence.
+	d := (&Delta{}).
+		Assert("edge", "d", "e").
+		Retract("edge", "c", "d").
+		Assert("edge", "tmp", "tmp2").
+		Retract("edge", "tmp", "tmp2").
+		Retract("edge", "never", "there")
+	res := db.Apply(d)
+	if res.Asserted != 2 || res.Retracted != 2 {
+		t.Fatalf("Apply = %+v, want 2 asserted, 2 retracted", res)
+	}
+	ans, err = db.Query("tc(a, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Rows, [][]string{{"b"}, {"c"}}) {
+		t.Fatalf("after delta: %v", ans.Rows)
+	}
+	// An empty or all-no-op delta moves nothing.
+	_, f1 := db.Epochs()
+	if res := db.Apply(&Delta{}); res != (ApplyResult{}) {
+		t.Fatalf("empty Apply = %+v", res)
+	}
+	if res := db.Apply((&Delta{}).Retract("edge", "never", "there")); res != (ApplyResult{}) {
+		t.Fatalf("no-op Apply = %+v", res)
+	}
+	if _, f := db.Epochs(); f != f1 {
+		t.Fatal("no-op Apply moved the fact epoch")
+	}
+}
+
+// The Hunt strategy bakes facts into its preconstructed graph; a fact
+// mutation must rebuild that plan (it does not implement the in-place
+// refresh) and the rebuilt plan must see the change.
+func TestHuntRebuildsOnFactMutation(t *testing.T) {
+	db := mustDB(t, `
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b).
+`)
+	p, err := db.Prepare("tc(?, Y)", Options{Strategy: Hunt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+	db.Assert("edge", "b", "c")
+	ans, err := p.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Rows, [][]string{{"b"}, {"c"}}) {
+		t.Fatalf("hunt after assert: %v", ans.Rows)
+	}
+	db.Retract("edge", "b", "c")
+	ans, err = p.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Rows, [][]string{{"b"}}) {
+		t.Fatalf("hunt after retract: %v", ans.Rows)
+	}
+}
+
+// Asserting constants the symbol table has never seen grows the Sym
+// domain past the bound the plan's dense visited pages were sized for;
+// the pages must grow mid-lifetime rather than truncate answers.
+func TestSymBoundGrowsMidLifetime(t *testing.T) {
+	db := mustDB(t, `
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b).
+`)
+	p, err := db.Prepare("tc(?, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+	// A chain of brand-new constants, appended one hop at a time.
+	prev := "b"
+	for i := 0; i < 200; i++ {
+		next := fmt.Sprintf("fresh%d", i)
+		db.Assert("edge", prev, next)
+		prev = next
+	}
+	ans, err := p.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 201 {
+		t.Fatalf("got %d reachable nodes, want 201", len(ans.Rows))
+	}
+	if ans.Rows[len(ans.Rows)-1][0] != "fresh99" { // lexicographic sort: fresh99 is last
+		t.Fatalf("unexpected last row %v", ans.Rows[len(ans.Rows)-1])
+	}
+}
+
+// A plan prepared before its base relation has any facts starts on the
+// by-name path; once facts materialize the relation, the fact-epoch
+// refresh must upgrade it (and answer correctly either way).
+func TestRefreshResolvesLateRelation(t *testing.T) {
+	db := NewDB()
+	if err := db.LoadProgram(`
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+`); err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.Prepare("tc(?, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := p.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 0 {
+		t.Fatalf("empty DB answered %v", ans.Rows)
+	}
+	db.Assert("edge", "a", "b")
+	db.Assert("edge", "b", "c")
+	tBefore, cBefore := equations.TransformCount(), automaton.CompileCount()
+	ans, err = p.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Rows, [][]string{{"b"}, {"c"}}) {
+		t.Fatalf("after materializing edge: %v", ans.Rows)
+	}
+	if equations.TransformCount() != tBefore || automaton.CompileCount() != cBefore {
+		t.Fatal("late relation materialization recompiled the plan")
+	}
+}
+
+// Retractions must not resurface through persistence: DumpFacts writes
+// only live facts and the dump round-trips into an equivalent DB.
+func TestPersistRetractRoundTrip(t *testing.T) {
+	db := mustDB(t, `
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b). edge(b, c). edge(c, d).
+`)
+	db.Retract("edge", "b", "c")
+	db.Assert("edge", "b", "e")
+
+	var facts, rules bytes.Buffer
+	if err := db.DumpFacts(&facts); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DumpRules(&rules); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(facts.String(), "edge(b,c)") {
+		t.Fatalf("retracted fact in dump:\n%s", facts.String())
+	}
+
+	re := NewDB()
+	if err := re.LoadProgram(rules.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.LoadProgram(facts.String()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Query("tc(a, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Query("tc(a, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("round trip: %v vs %v", got.Rows, want.Rows)
+	}
+	if !reflect.DeepEqual(want.Rows, [][]string{{"b"}, {"e"}}) {
+		t.Fatalf("post-retract answers: %v", want.Rows)
+	}
+}
+
+// Concurrent Runs race Apply batches; run with -race. Every answer must
+// be internally consistent (a state the DB actually passed through: the
+// alternating delta keeps exactly one of two worlds visible) and the
+// final state must be exact.
+func TestConcurrentRunDuringApply(t *testing.T) {
+	db := mustDB(t, `
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b). edge(b, c).
+`)
+	p, err := db.Prepare("tc(?, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withD := [][]string{{"b"}, {"c"}, {"d"}}
+	withoutD := [][]string{{"b"}, {"c"}}
+
+	const runners = 8
+	iters := 150
+	if testing.Short() {
+		iters = 40
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, runners+1)
+	stop := make(chan struct{})
+	for g := 0; g < runners; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ans, err := p.Run("a")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(ans.Rows, withD) && !reflect.DeepEqual(ans.Rows, withoutD) {
+					errs <- fmt.Errorf("inconsistent snapshot: %v", ans.Rows)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < iters; i++ {
+		db.Apply((&Delta{}).Assert("edge", "c", "d"))
+		db.Apply((&Delta{}).Retract("edge", "c", "d"))
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ans, err := p.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ans.Rows, withoutD) {
+		t.Fatalf("final state: %v", ans.Rows)
+	}
+}

@@ -6,21 +6,26 @@ import (
 	"io"
 
 	"chainlog/internal/ast"
+	"chainlog/internal/symtab"
 )
 
 // DumpFacts writes the extensional database as Datalog fact text, one
-// fact per line, relations in insertion order. The output round-trips
-// through LoadProgram.
+// fact per line, relations in insertion order. Only live facts are
+// written — a retracted fact does not resurface on reload — so the
+// output round-trips the DB's current state through LoadProgram.
 func (db *DB) DumpFacts(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	bw := bufio.NewWriter(w)
+	var werr error
 	for _, name := range db.store.Relations() {
-		r := db.store.Relation(name)
-		for i := 0; i < r.Len(); i++ {
-			tuple := r.Tuple(i)
+		db.store.Relation(name).EachRaw(func(tuple []symtab.Sym) {
+			if werr != nil {
+				return
+			}
 			if _, err := bw.WriteString(name); err != nil {
-				return err
+				werr = err
+				return
 			}
 			bw.WriteByte('(')
 			for j, s := range tuple {
@@ -30,8 +35,11 @@ func (db *DB) DumpFacts(w io.Writer) error {
 				bw.WriteString(ast.C(s).Render(db.st))
 			}
 			if _, err := bw.WriteString(").\n"); err != nil {
-				return err
+				werr = err
 			}
+		})
+		if werr != nil {
+			return werr
 		}
 	}
 	return bw.Flush()

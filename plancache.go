@@ -11,9 +11,11 @@ import (
 // planKey identifies a cached plan: the query predicate, the canonical
 // binding pattern (which positions are parameters, which are variables,
 // and the variable-repetition structure), and the evaluation options.
-// Program and fact mutations need not be part of the key: every cached
-// Prepared records the DB epoch it was compiled at and recompiles itself
-// when the epoch moves.
+// Mutations need not be part of the key: every cached Prepared records
+// the rule and fact epochs it was compiled at, recompiles itself when
+// the rule epoch moves (the cache is emptied then too), and merely
+// refreshes its relation pointers when only the fact epoch moved — so
+// the cache, and its hit streaks, survive fact churn.
 type planKey struct {
 	pred    string
 	pattern string
@@ -75,9 +77,10 @@ func patternOf(q ast.Query) string {
 }
 
 // planCache memoizes Prepared plans behind Query/QueryOpts, so one-shot
-// queries of a repeated shape compile once. Mutations empty the cache
-// (via DB.bumpEpoch) so stale plans never pin a replaced store; between
-// mutations the size is bounded by the number of distinct query shapes.
+// queries of a repeated shape compile once. Rule-epoch mutations empty
+// the cache (via DB.bumpRuleEpoch) so stale plans never pin a replaced
+// store; fact-only mutations leave it intact. Between rule mutations the
+// size is bounded by the number of distinct query shapes.
 type planCache struct {
 	mu      sync.Mutex
 	entries map[planKey]*Prepared

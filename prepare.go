@@ -25,9 +25,13 @@ import (
 // the demand-driven traversal for a concrete parameter vector.
 //
 // A Prepared is safe for concurrent use: any number of goroutines may
-// Run it simultaneously, each with its own parameters. If the owning DB
-// is mutated (LoadProgram, Assert, SetStore), the plan detects the stale
-// epoch on its next Run and recompiles itself transparently.
+// Run it simultaneously, each with its own parameters. The plan tracks
+// the DB's two mutation epochs separately: rule-epoch movement
+// (LoadProgram with rules, SetStore, Invalidate) makes the next Run
+// recompile transparently, while fact-epoch movement (Assert, Retract,
+// Apply) is absorbed in place — the plan merely refreshes its
+// pre-resolved relation pointers, so a fact mutation costs the next Run
+// neither parsing nor equation transformation nor automaton compilation.
 type Prepared struct {
 	db   *DB
 	text string
@@ -37,11 +41,12 @@ type Prepared struct {
 	// nparams is the number of '?' holes in the template.
 	nparams int
 
-	// mu guards plan/epoch for the transparent-recompile path, and the
+	// mu guards plan/epochs for the transparent-refresh path, and the
 	// compile-time counter deltas below.
-	mu    sync.RWMutex
-	plan  plan
-	epoch uint64
+	mu        sync.RWMutex
+	plan      plan
+	ruleEpoch uint64
+	factEpoch uint64
 	// compileFacts/compileLookups record the extensional access plan
 	// compilation itself performed (zero for most routes; the Hunt
 	// preconstruction and the Section 4 transform consult the store).
@@ -56,6 +61,16 @@ type Prepared struct {
 // reading.
 type plan interface {
 	run(db *DB, args []symtab.Sym) (*Answer, error)
+}
+
+// factRefresher is implemented by plans that can absorb a fact-only
+// mutation without recompiling: refreshFacts re-synchronizes whatever
+// fact-derived state the plan carries (pre-resolved relation pointers,
+// nothing at all for plans that read the store per run) and reports
+// success. Plans that bake facts into their compiled form (the Hunt
+// preconstruction) do not implement it and rebuild instead.
+type factRefresher interface {
+	refreshFacts(db *DB)
 }
 
 // streamPlan documents the contract of plans that can deliver answers as
@@ -120,7 +135,7 @@ func (db *DB) prepareQuery(tmpl ast.Query, opts Options) (*Prepared, error) {
 	after := db.store.CountersSnapshot()
 	p.compileFacts = after.Retrieved - before.Retrieved
 	p.compileLookups = after.Lookups - before.Lookups
-	p.plan, p.epoch = pl, db.epoch
+	p.plan, p.ruleEpoch, p.factEpoch = pl, db.ruleEpoch, db.factEpoch
 	return p, nil
 }
 
@@ -254,30 +269,42 @@ func (p *Prepared) RunSymsFunc(yield func(row []symtab.Sym), args ...symtab.Sym)
 	return nil
 }
 
-// planLocked returns the current plan, transparently recompiling it when
-// the DB's epoch moved past the plan's. The caller holds db.mu for
-// reading, so db.epoch is stable for the duration.
+// planLocked returns the current plan, re-synchronizing it with the
+// DB's mutation epochs: a stale fact epoch refreshes the plan in place
+// (no recompilation) when the plan supports it, and a stale rule epoch —
+// or a plan that bakes facts into its compiled form — recompiles. The
+// caller holds db.mu for reading, so the epochs are stable for the
+// duration, and no mutation or other traversal of this plan's engine can
+// be in flight while the exclusive p.mu section below runs.
 func (p *Prepared) planLocked() (plan, error) {
+	db := p.db
 	p.mu.RLock()
-	pl, ep := p.plan, p.epoch
+	pl, re, fe := p.plan, p.ruleEpoch, p.factEpoch
 	p.mu.RUnlock()
-	if ep == p.db.epoch {
+	if re == db.ruleEpoch && fe == db.factEpoch {
 		return pl, nil
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.epoch == p.db.epoch {
-		return p.plan, nil
+	if p.ruleEpoch == db.ruleEpoch {
+		if p.factEpoch == db.factEpoch {
+			return p.plan, nil
+		}
+		if fr, ok := p.plan.(factRefresher); ok {
+			fr.refreshFacts(db)
+			p.factEpoch = db.factEpoch
+			return p.plan, nil
+		}
 	}
-	before := p.db.store.CountersSnapshot()
-	pl, err := p.db.buildPlan(p.tmpl, p.opts)
+	before := db.store.CountersSnapshot()
+	pl, err := db.buildPlan(p.tmpl, p.opts)
 	if err != nil {
 		return nil, err
 	}
-	after := p.db.store.CountersSnapshot()
+	after := db.store.CountersSnapshot()
 	p.compileFacts = after.Retrieved - before.Retrieved
 	p.compileLookups = after.Lookups - before.Lookups
-	p.plan, p.epoch = pl, p.db.epoch
+	p.plan, p.ruleEpoch, p.factEpoch = pl, db.ruleEpoch, db.factEpoch
 	return pl, nil
 }
 
@@ -429,6 +456,9 @@ func (pl *basePlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 	return db.baseQuery(substituteArgs(pl.tmpl, args))
 }
 
+// refreshFacts is a no-op: the plan reads the store at run time.
+func (pl *basePlan) refreshFacts(db *DB) {}
+
 // directPlan is the paper's algorithm over a precompiled engine: a
 // binary-chain query evaluated by graph traversal, with the bound
 // constant injected at run time.
@@ -439,6 +469,11 @@ type directPlan struct {
 	diagonal bool // ff with a repeated variable: p(X, X)
 	eng      *chaineval.Engine
 }
+
+// refreshFacts re-resolves the engine's pre-annotated relation table so
+// edges whose relation materialized after compile time probe it
+// directly; the compiled automata themselves depend only on the rules.
+func (pl *directPlan) refreshFacts(db *DB) { pl.eng.RefreshRelations() }
 
 func (pl *directPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 	switch pl.mode {
@@ -513,6 +548,16 @@ type section4Plan struct {
 	distinctVars bool
 }
 
+// refreshFacts re-resolves the engine's relation table and drops the
+// transformation's cached active domain (fact-derived state used only
+// by unsafe-mode enumeration). The transformation itself depends only
+// on the binding pattern, and its virtual join relations evaluate
+// against the live store per probe.
+func (pl *section4Plan) refreshFacts(db *DB) {
+	pl.eng.RefreshRelations()
+	pl.tr.RefreshFacts()
+}
+
 // bindStart resolves the run's bound-argument vector to the interned
 // start term t(c̄).
 func (pl *section4Plan) bindStart(args []symtab.Sym) (symtab.Sym, error) {
@@ -568,6 +613,9 @@ func (pl *section4Plan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 // magic cannot handle the program either.
 type chainFallbackPlan struct{ tmpl ast.Query }
 
+// refreshFacts is a no-op: the rewriting runs against the live store.
+func (pl *chainFallbackPlan) refreshFacts(db *DB) {}
+
 func (pl *chainFallbackPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 	q := substituteArgs(pl.tmpl, args)
 	rows, stats, err := magic.Evaluate(db.prog, q, db.store)
@@ -590,6 +638,9 @@ type bottomUpPlan struct {
 	tmpl  ast.Query
 	naive bool
 }
+
+// refreshFacts is a no-op: the fixpoint is recomputed per run.
+func (pl *bottomUpPlan) refreshFacts(db *DB) {}
 
 func (pl *bottomUpPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 	run := bottomup.Seminaive
@@ -614,6 +665,9 @@ func (pl *bottomUpPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 // parameter vectors.
 type magicPlan struct{ tmpl ast.Query }
 
+// refreshFacts is a no-op: the rewriting runs against the live store.
+func (pl *magicPlan) refreshFacts(db *DB) {}
+
 func (pl *magicPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 	rows, stats, err := magic.Evaluate(db.prog, substituteArgs(pl.tmpl, args), db.store)
 	if err != nil {
@@ -635,6 +689,10 @@ type linearPlan struct {
 	shape     equations.LinearShape
 	maxLevels int
 }
+
+// refreshFacts is a no-op: the decomposed shape depends only on the
+// rules, and each run evaluates it against the live store.
+func (pl *linearPlan) refreshFacts(db *DB) {}
 
 func (pl *linearPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 	src := chaineval.StoreSource{Store: db.store}
@@ -659,6 +717,9 @@ func (pl *linearPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
 }
 
 // huntPlan answers over the preconstructed Hunt-Szymanski-Ullman graph.
+// It deliberately does not implement factRefresher: the graph is built
+// from the facts, so a fact mutation forces the full preconstruction
+// again — the strategy's documented trade-off.
 type huntPlan struct {
 	bound ast.Term
 	g     *hunt.Graph

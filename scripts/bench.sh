@@ -28,11 +28,14 @@ if [ "${1:-}" = "-count" ]; then
   shift 2
 fi
 
-PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFig7|BenchmarkFig8|BenchmarkTheorem3|BenchmarkTheorem4|BenchmarkPrepared|BenchmarkFlight|BenchmarkBatch|BenchmarkParallel}"
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFig7|BenchmarkFig8|BenchmarkTheorem3|BenchmarkTheorem4|BenchmarkPrepared|BenchmarkFlight|BenchmarkBatch|BenchmarkParallel|BenchmarkAdjOverlay}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${1:-BENCH.json}"
 
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . \
+# BenchmarkPrepared also matches BenchmarkPreparedAssertThenRun, the
+# live-update benchmark pair; ./internal/edb contributes the CSR
+# overlay-vs-rebuild microbenchmark.
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . ./internal/edb \
   | tee /dev/stderr \
   | go run ./cmd/benchjson > "$OUT"
 echo "wrote $OUT" >&2
