@@ -1,0 +1,21 @@
+# chainlogd container image: multi-stage build producing a static binary
+# on a distroless base — the artifact CI's docker job boots and smokes
+# (scripts/e2e.sh in external mode), so the image users deploy is the
+# image that was tested.
+#
+#   docker build -t chainlogd .
+#   docker run --rm -p 8080:8080 chainlogd
+#   # or with your own program:
+#   docker run --rm -p 8080:8080 -v $PWD/prog.dl:/etc/chainlog/program.dl chainlogd
+
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/chainlogd ./cmd/chainlogd
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/chainlogd /chainlogd
+COPY examples/serving/family.dl /etc/chainlog/program.dl
+EXPOSE 8080
+ENTRYPOINT ["/chainlogd"]
+CMD ["-addr", ":8080", "-program", "/etc/chainlog/program.dl"]

@@ -1,6 +1,7 @@
 package chainlog
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -23,6 +24,13 @@ import (
 // same Stats describing the whole batch evaluation (per-binding
 // attribution is impossible once traversals share state).
 func (p *Prepared) RunBatch(argSets [][]string) ([]*Answer, error) {
+	return p.RunBatchCtx(nil, argSets)
+}
+
+// RunBatchCtx is RunBatch under a context: the shared traversal and the
+// fanned-out per-binding runs poll the context like RunCtx, so one
+// deadline covers the whole batch.
+func (p *Prepared) RunBatchCtx(ctx context.Context, argSets [][]string) ([]*Answer, error) {
 	syms := make([][]symtab.Sym, len(argSets))
 	for i, args := range argSets {
 		row := make([]symtab.Sym, len(args))
@@ -31,11 +39,16 @@ func (p *Prepared) RunBatch(argSets [][]string) ([]*Answer, error) {
 		}
 		syms[i] = row
 	}
-	return p.RunSymsBatch(syms)
+	return p.RunSymsBatchCtx(ctx, syms)
 }
 
 // RunSymsBatch is RunBatch for pre-interned parameter vectors.
 func (p *Prepared) RunSymsBatch(argSets [][]symtab.Sym) ([]*Answer, error) {
+	return p.RunSymsBatchCtx(nil, argSets)
+}
+
+// RunSymsBatchCtx is RunBatchCtx for pre-interned parameter vectors.
+func (p *Prepared) RunSymsBatchCtx(ctx context.Context, argSets [][]symtab.Sym) ([]*Answer, error) {
 	for _, args := range argSets {
 		if len(args) != p.nparams {
 			return nil, fmt.Errorf("chainlog: prepared query %s expects %d parameters, got %d", p, p.nparams, len(args))
@@ -58,11 +71,17 @@ func (p *Prepared) RunSymsBatch(argSets [][]symtab.Sym) ([]*Answer, error) {
 	var out []*Answer
 	switch v := pl.(type) {
 	case *directPlan:
-		out, err = v.runBatch(db, argSets)
+		out, err = v.runBatch(ctx, db, argSets)
 	case *section4Plan:
-		out, err = v.runBatch(db, argSets)
+		out, err = v.runBatch(ctx, db, argSets)
 	}
 	if err != nil {
+		return nil, err
+	}
+	// Post-evaluation deadline check, mirroring runMaterialized: per-batch
+	// decoding and row sorting below can dwarf the traversal on large
+	// answer sets.
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	if out != nil {
@@ -71,6 +90,12 @@ func (p *Prepared) RunSymsBatch(argSets [][]symtab.Sym) ([]*Answer, error) {
 			ans.Stats.FactsConsulted = after.Retrieved - before.Retrieved
 			ans.Stats.Lookups = after.Lookups - before.Lookups
 			p.finishAnswer(ans)
+		}
+		// Final deadline check after the per-answer decode and sort,
+		// mirroring runMaterialized: a 200 means the whole batch — not
+		// just its traversal — fit the deadline.
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -81,7 +106,7 @@ func (p *Prepared) RunSymsBatch(argSets [][]symtab.Sym) ([]*Answer, error) {
 	out = make([]*Answer, len(argSets))
 	errs := make([]error, len(argSets))
 	runOne := func(k int) {
-		out[k], errs[k] = p.runMaterialized(pl, argSets[k])
+		out[k], errs[k] = p.runMaterialized(ctx, pl, argSets[k])
 	}
 	if W := min(p.batchWorkers(), len(argSets)); W > 1 {
 		var cursor atomic.Int64
@@ -137,7 +162,7 @@ func (p *Prepared) finishAnswer(ans *Answer) {
 // runBatch evaluates a binding set through the engine's batch API for
 // bf/fb plans; (nil, nil) reports that this plan mode has no batch route
 // (ff enumerates the active domain regardless of parameters).
-func (pl *directPlan) runBatch(db *DB, argSets [][]symtab.Sym) ([]*Answer, error) {
+func (pl *directPlan) runBatch(ctx context.Context, db *DB, argSets [][]symtab.Sym) ([]*Answer, error) {
 	if pl.mode != "bf" && pl.mode != "fb" {
 		return nil, nil
 	}
@@ -149,9 +174,9 @@ func (pl *directPlan) runBatch(db *DB, argSets [][]symtab.Sym) ([]*Answer, error
 	var res *chaineval.Result
 	var err error
 	if pl.mode == "bf" {
-		answers, res, err = pl.eng.QueryBatch(pl.pred, sources)
+		answers, res, err = pl.eng.QueryBatchCtx(ctx, pl.pred, sources)
 	} else {
-		answers, res, err = pl.eng.QueryBatchInverse(pl.pred, sources)
+		answers, res, err = pl.eng.QueryBatchInverseCtx(ctx, pl.pred, sources)
 	}
 	if err != nil {
 		return nil, err
@@ -167,7 +192,7 @@ func (pl *directPlan) runBatch(db *DB, argSets [][]symtab.Sym) ([]*Answer, error
 // runBatch evaluates a Section 4 binding set in one engine batch over
 // the transformed system's start terms, sharing visited tuple-term state
 // across bindings, then decodes per binding.
-func (pl *section4Plan) runBatch(db *DB, argSets [][]symtab.Sym) ([]*Answer, error) {
+func (pl *section4Plan) runBatch(ctx context.Context, db *DB, argSets [][]symtab.Sym) ([]*Answer, error) {
 	starts := make([]symtab.Sym, len(argSets))
 	for i, args := range argSets {
 		s, err := pl.bindStart(args)
@@ -176,7 +201,7 @@ func (pl *section4Plan) runBatch(db *DB, argSets [][]symtab.Sym) ([]*Answer, err
 		}
 		starts[i] = s
 	}
-	answers, res, err := pl.eng.QueryBatch(pl.tr.QueryPred, starts)
+	answers, res, err := pl.eng.QueryBatchCtx(ctx, pl.tr.QueryPred, starts)
 	if err != nil {
 		return nil, err
 	}

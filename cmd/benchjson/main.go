@@ -19,6 +19,11 @@
 // regressed by more than -threshold (a fraction: 0.25 = +25%).
 // -threshold 0 demands the metric not grow at all — useful for
 // deterministic metrics such as allocs/op.
+//
+// -baseline-dir DIR replaces -compare FILE with an automatic pick: the
+// BENCH_<n>.json in DIR with the numerically largest <n>. Numeric, not
+// lexicographic — BENCH_10 beats BENCH_9 — so the CI gate keeps tracking
+// the newest checked-in baseline past single digits.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -51,24 +57,72 @@ type Report struct {
 
 func main() {
 	compare := flag.String("compare", "", "baseline JSON file: compare mode diffs it against the second positional file (or -new)")
+	baselineDir := flag.String("baseline-dir", "", "compare mode with an automatic baseline: the numerically newest BENCH_<n>.json in this directory")
 	newFile := flag.String("new", "", "fresh JSON file for compare mode (alternative to the positional argument)")
 	metric := flag.String("metric", "ns/op", "metric to gate on in compare mode")
 	threshold := flag.Float64("threshold", 0.25, "maximum allowed fractional regression (0.25 = +25%)")
 	pattern := flag.String("pattern", "", "regexp restricting compared benchmark names (default: all)")
 	flag.Parse()
 
-	if *compare != "" {
+	base := *compare
+	if *baselineDir != "" {
+		if base != "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare and -baseline-dir are mutually exclusive")
+			os.Exit(2)
+		}
+		var err error
+		if base, err = pickBaseline(*baselineDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("baseline: %s\n", base)
+	}
+	if base != "" {
 		fresh := *newFile
 		if fresh == "" {
 			if flag.NArg() != 1 {
-				fmt.Fprintln(os.Stderr, "benchjson: -compare needs the fresh report as -new or a positional argument")
+				fmt.Fprintln(os.Stderr, "benchjson: compare mode needs the fresh report as -new or a positional argument")
 				os.Exit(2)
 			}
 			fresh = flag.Arg(0)
 		}
-		os.Exit(runCompare(*compare, fresh, *metric, *threshold, *pattern))
+		os.Exit(runCompare(base, fresh, *metric, *threshold, *pattern))
 	}
 	runEmit()
+}
+
+// benchBaselineRe matches checked-in baseline names, capturing the PR
+// number.
+var benchBaselineRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// pickBaseline returns the BENCH_<n>.json in dir with the largest
+// numeric n. A lexicographic pick (shell glob order) would gate against
+// BENCH_9 forever once BENCH_10 lands; this picker is what the CI
+// regression gate uses.
+func pickBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		m := benchBaselineRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = e.Name(), n
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json baseline in %s", dir)
+	}
+	return filepath.Join(dir, best), nil
 }
 
 // runEmit is the original mode: bench output on stdin, JSON on stdout.

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPickBaselineNumeric(t *testing.T) {
+	dir := t.TempDir()
+	// BENCH_10 must beat BENCH_9 (lexicographically "BENCH_9.json" >
+	// "BENCH_10.json", which is exactly the glob-order bug the numeric
+	// picker exists to fix), and non-baseline files are ignored.
+	for _, name := range []string{
+		"BENCH_2.json", "BENCH_9.json", "BENCH_10.json",
+		"BENCH_x.json", "BENCH_3.json.bak", "notes.md",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "BENCH_99.json"), 0o755); err != nil {
+		t.Fatal(err) // a directory with a matching name must not win
+	}
+	got, err := pickBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_10.json"); got != want {
+		t.Fatalf("pickBaseline = %q, want %q", got, want)
+	}
+}
+
+func TestPickBaselineEmpty(t *testing.T) {
+	if _, err := pickBaseline(t.TempDir()); err == nil {
+		t.Fatal("want an error when no baseline exists")
+	}
+}
+
+func TestPickBaselineSingle(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_4.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pickBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_4.json"); got != want {
+		t.Fatalf("pickBaseline = %q, want %q", got, want)
+	}
+}

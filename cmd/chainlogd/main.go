@@ -1,0 +1,105 @@
+// Command chainlogd serves a chainlog database over HTTP/JSON: a
+// long-lived daemon that loads a Datalog program at startup, keeps a
+// registry of compiled query plans (compile once, serve many), and
+// exposes query, mutation, explain, health and metrics endpoints.
+//
+// Usage:
+//
+//	chainlogd -program prog.dl [-facts facts.dl] [-addr :8080] \
+//	          [-max-inflight 64] [-default-timeout 5s] [-max-timeout 30s] \
+//	          [-max-nodes 4194304] [-parallelism 0] [-drain-timeout 15s]
+//
+// Endpoints:
+//
+//	POST /v1/query    {"template": "tc(?, Y)", "args": ["a"]} — or
+//	                  {"batch": [["a"],["b"]]} for batched bindings, or
+//	                  {"query": "tc(a, Y)"} for one-shot literals
+//	POST /v1/assert   {"facts": [{"pred": "e", "args": ["a","b"]}]}
+//	POST /v1/retract  {"facts": [{"pred": "e", "args": ["a","b"]}]}
+//	POST /v1/delta    {"ops": [{"op":"assert","pred":"e","args":["a","b"]},
+//	                           {"op":"retract","pred":"e","args":["b","c"]}]}
+//	GET  /v1/explain?query=tc(a,%20Y)
+//	GET  /healthz     200 ok / 503 draining
+//	GET  /metrics     Prometheus text exposition
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, flips
+// /healthz to 503, waits up to -drain-timeout for in-flight requests,
+// and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chainlog"
+	"chainlog/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chainlogd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main behind a fresh FlagSet, so tests can drive full
+// boot/serve/drain cycles in-process.
+func run(args []string) error {
+	fs := flag.NewFlagSet("chainlogd", flag.ContinueOnError)
+	programPath := fs.String("program", "", "path to the Datalog program (rules and facts); required")
+	factsPath := fs.String("facts", "", "optional path to an additional facts file")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxInFlight := fs.Int("max-inflight", 64, "bound on concurrently executing requests (excess gets 429)")
+	defaultTimeout := fs.Duration("default-timeout", 5*time.Second, "evaluation deadline for requests that name none")
+	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "upper clamp on request-supplied timeout_ms")
+	maxNodes := fs.Int("max-nodes", 4<<20, "admission cap on a query's interpretation-graph nodes (-1 = unlimited)")
+	parallelism := fs.Int("parallelism", 0, "traversal worker pool per query (0 = sequential; -1 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *programPath == "" {
+		return fmt.Errorf("-program is required")
+	}
+	db := chainlog.NewDB()
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		return err
+	}
+	if err := db.LoadProgram(string(src)); err != nil {
+		return fmt.Errorf("loading %s: %w", *programPath, err)
+	}
+	if *factsPath != "" {
+		facts, err := os.ReadFile(*factsPath)
+		if err != nil {
+			return err
+		}
+		if err := db.LoadProgram(string(facts)); err != nil {
+			return fmt.Errorf("loading %s: %w", *factsPath, err)
+		}
+	}
+	log.Printf("chainlogd: loaded %s (classification %+v)", *programPath, db.Classify())
+
+	s, err := server.New(server.Config{
+		DB:             db,
+		MaxInFlight:    *maxInFlight,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxNodes:       *maxNodes,
+		Parallelism:    *parallelism,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	return s.ListenAndServe(ctx, *addr, *drainTimeout)
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunRequiresProgram(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "-program is required") {
+		t.Fatalf("want -program error, got %v", err)
+	}
+}
+
+func TestRunMissingProgramFile(t *testing.T) {
+	if err := run([]string{"-program", "/nonexistent/prog.dl"}); err == nil {
+		t.Fatal("want error for missing program file")
+	}
+}
+
+func TestRunBadProgram(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.dl")
+	if err := os.WriteFile(path, []byte("this is not datalog :-"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-program", path}); err == nil || !strings.Contains(err.Error(), "loading") {
+		t.Fatalf("want load error, got %v", err)
+	}
+}
+
+// TestRunServeAndDrain drives the real boot/serve/drain cycle
+// in-process: run() on a free port, a live query over HTTP, then
+// SIGTERM to our own process (caught by run's NotifyContext) and a nil
+// return — the daemon's clean-drain contract.
+func TestRunServeAndDrain(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "prog.dl")
+	if err := os.WriteFile(prog, []byte(`
+		tc(X, Y) :- e(X, Y).
+		tc(X, Z) :- e(X, Y), tc(Y, Z).
+		e(a, b). e(b, c).
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a free port, then hand it to the daemon.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	facts := filepath.Join(dir, "facts.dl")
+	if err := os.WriteFile(facts, []byte("e(c, d).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-program", prog, "-facts", facts, "-addr", addr, "-drain-timeout", "5s"})
+	}()
+
+	base := "http://" + addr
+	healthy := false
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				healthy = true
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatal("daemon never became healthy")
+	}
+
+	resp, err := http.Post(base+"/v1/query", "application/json",
+		strings.NewReader(`{"template": "tc(?, Y)", "args": ["a"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 256)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, body[:n])
+	}
+	// The -facts file contributed e(c, d), so tc(a, Y) = b, c, d.
+	if want := `"rows":[["b"],["c"],["d"]]`; !strings.Contains(string(body[:n]), want) {
+		t.Fatalf("query response %s missing %s", body[:n], want)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil (clean drain)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s of SIGTERM")
+	}
+}
+
+func TestRunAddrInUse(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "prog.dl")
+	if err := os.WriteFile(prog, []byte("e(a, b).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	err = run([]string{"-program", prog, "-addr", l.Addr().String()})
+	if err == nil {
+		t.Fatal("want bind error for occupied address")
+	}
+	if !strings.Contains(fmt.Sprint(err), "address already in use") {
+		t.Logf("bind error (platform-specific): %v", err)
+	}
+}

@@ -1,0 +1,245 @@
+// Command loadgen is a closed-loop load generator for chainlogd: it
+// drives a target QPS of mixed query and mutation traffic at a daemon,
+// measures per-request latency, and writes a JSON summary. CI's
+// load-smoke job runs it for a few seconds and fails the build on any
+// transport error or unexpected status; it is equally usable by hand
+// for capacity runs:
+//
+//	loadgen -addr http://127.0.0.1:8080 -duration 10s -qps 200 \
+//	        -template 'ancestor(?, Y)' -args bart,lisa,homer \
+//	        -mutation-ratio 0.1 -fail-on-error
+//
+// Pacing is open-loop per schedule but closed-loop per worker: request k
+// fires no earlier than start + k/qps, claimed by a bounded worker pool,
+// so a slow server shifts latency into the measurements instead of
+// spawning unbounded goroutines.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type summary struct {
+	TargetQPS       float64        `json:"target_qps"`
+	DurationSeconds float64        `json:"duration_s"`
+	Requests        int            `json:"requests"`
+	Queries         int            `json:"queries"`
+	Mutations       int            `json:"mutations"`
+	OK              int            `json:"ok"`
+	Status          map[string]int `json:"status"`
+	TransportErrors int            `json:"transport_errors"`
+	AchievedQPS     float64        `json:"achieved_qps"`
+	LatencyMS       latencies      `json:"latency_ms"`
+}
+
+type latencies struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// workerState accumulates one worker's measurements; merged at the end,
+// so the hot loop takes no locks.
+type workerState struct {
+	lats      []time.Duration
+	status    map[int]int
+	transport int
+	queries   int
+	mutations int
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run is main behind a fresh FlagSet returning the exit code, so tests
+// can drive whole load runs in-process.
+func run(argv []string) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "chainlogd base URL")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	qps := fs.Float64("qps", 50, "target requests per second")
+	concurrency := fs.Int("concurrency", 4, "worker pool size (max in-flight requests)")
+	template := fs.String("template", "", "prepared-query template, e.g. 'ancestor(?, Y)'; required")
+	argsList := fs.String("args", "", "comma-separated binding values cycled across query requests; required")
+	mutationRatio := fs.Float64("mutation-ratio", 0, "fraction of requests that are fact mutations (0..1)")
+	mutationPred := fs.String("mutation-pred", "loadgen_edge", "predicate used by generated assert/retract deltas")
+	timeoutMS := fs.Int("timeout-ms", 0, "per-request evaluation deadline passed to the server (0 = server default)")
+	out := fs.String("out", "", "write the JSON summary to this file (default stdout)")
+	failOnError := fs.Bool("fail-on-error", false, "exit 1 on any transport error or unexpected status")
+	allow429 := fs.Bool("allow-429", false, "with -fail-on-error, tolerate 429s (deliberate saturation probes)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *template == "" || *argsList == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -template and -args are required")
+		return 2
+	}
+	bindings := strings.Split(*argsList, ",")
+	interval := time.Duration(float64(time.Second) / *qps)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Pre-render the query bodies (one per binding) and the two mutation
+	// bodies; the hot loop only cycles indexes.
+	queryBodies := make([][]byte, len(bindings))
+	for i, b := range bindings {
+		body, err := json.Marshal(map[string]any{
+			"template": *template, "args": []string{strings.TrimSpace(b)}, "timeout_ms": *timeoutMS,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			return 2
+		}
+		queryBodies[i] = body
+	}
+	// Mutation m asserts key m/2 when m is even and retracts that same
+	// key when m is odd, so the daemon sees real fact churn (insert then
+	// delete of a present fact), not epoch-free no-ops. The sequence
+	// counter is global across workers; out-of-order delivery just turns
+	// the odd retract into a no-op occasionally, which is fine.
+	var mutSeq atomic.Int64
+	mutBody := func() []byte {
+		m := mutSeq.Add(1) - 1
+		op := "assert"
+		if m%2 == 1 {
+			op = "retract"
+		}
+		key := (m / 2) % 16
+		body, _ := json.Marshal(map[string]any{"ops": []map[string]any{{
+			"op": op, "pred": *mutationPred,
+			"args": []string{fmt.Sprintf("lk%d", key), fmt.Sprintf("lv%d", key)},
+		}}})
+		return body
+	}
+	// Request k is a mutation when the running count of mutations owed
+	// (k·ratio) gains a whole unit at k — exact for any ratio in (0, 1],
+	// spreading mutations evenly through the run.
+	isMutation := func(k int) bool {
+		r := *mutationRatio
+		if r <= 0 {
+			return false
+		}
+		return int(float64(k+1)*r) > int(float64(k)*r)
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var cursor atomic.Int64
+	states := make([]*workerState, *concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		st := &workerState{status: make(map[int]int)}
+		states[w] = st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(cursor.Add(1)) - 1
+				due := start.Add(time.Duration(k) * interval)
+				if due.After(deadline) {
+					return
+				}
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				var url string
+				var body []byte
+				if isMutation(k) {
+					st.mutations++
+					url = *addr + "/v1/delta"
+					body = mutBody()
+				} else {
+					st.queries++
+					url = *addr + "/v1/query"
+					body = queryBodies[k%len(queryBodies)]
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					st.transport++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.lats = append(st.lats, time.Since(t0))
+				st.status[resp.StatusCode]++
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := summary{
+		TargetQPS:       *qps,
+		DurationSeconds: elapsed.Seconds(),
+		Status:          make(map[string]int),
+	}
+	var all []time.Duration
+	for _, st := range states {
+		all = append(all, st.lats...)
+		sum.TransportErrors += st.transport
+		sum.Queries += st.queries
+		sum.Mutations += st.mutations
+		for code, n := range st.status {
+			sum.Status[fmt.Sprint(code)] += n
+			if code >= 200 && code < 300 {
+				sum.OK += n
+			}
+		}
+	}
+	sum.Requests = len(all) + sum.TransportErrors
+	sum.AchievedQPS = float64(sum.Requests) / elapsed.Seconds()
+	slices.Sort(all)
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i]) / float64(time.Millisecond)
+	}
+	sum.LatencyMS = latencies{P50: pct(0.50), P90: pct(0.90), P99: pct(0.99), Max: pct(1)}
+
+	enc, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return 2
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	if *failOnError {
+		bad := sum.TransportErrors
+		for code, n := range sum.Status {
+			if strings.HasPrefix(code, "2") || (*allow429 && code == "429") {
+				continue
+			}
+			bad += n
+		}
+		if bad > 0 || sum.OK == 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: %d failed request(s), %d ok\n", bad, sum.OK)
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chainlog"
+	"chainlog/internal/server"
+)
+
+// bootBackend serves the family program in-process for loadgen to hit.
+func bootBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	db := chainlog.NewDB()
+	if err := db.LoadProgram(`
+		ancestor(X, Y) :- parent(X, Y).
+		ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+		parent(bart, homer). parent(homer, abe).
+	`); err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{DB: db, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if rc := run([]string{}); rc != 2 {
+		t.Fatalf("missing -template/-args: rc %d, want 2", rc)
+	}
+	if rc := run([]string{"-bogus-flag"}); rc != 2 {
+		t.Fatalf("bad flag: rc %d, want 2", rc)
+	}
+}
+
+// TestRunAgainstLiveServer drives a short mixed query/mutation load at
+// an in-process daemon and checks the summary: all 2xx, correct
+// query/mutation split, sane latency percentiles, exit 0 under
+// -fail-on-error.
+func TestRunAgainstLiveServer(t *testing.T) {
+	ts := bootBackend(t)
+	out := filepath.Join(t.TempDir(), "summary.json")
+	rc := run([]string{
+		"-addr", ts.URL,
+		"-duration", "1s",
+		"-qps", "100",
+		"-concurrency", "4",
+		"-template", "ancestor(?, Y)",
+		"-args", "bart,homer",
+		"-mutation-ratio", "0.2",
+		"-timeout-ms", "500",
+		"-fail-on-error",
+		"-out", out,
+	})
+	if rc != 0 {
+		t.Fatalf("run rc %d, want 0", rc)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("bad summary %s: %v", data, err)
+	}
+	if sum.Requests == 0 || sum.OK != sum.Requests || sum.TransportErrors != 0 {
+		t.Fatalf("summary %+v: want all requests ok", sum)
+	}
+	if sum.Mutations == 0 || sum.Queries == 0 {
+		t.Fatalf("summary %+v: want both queries and mutations", sum)
+	}
+	if sum.LatencyMS.P50 <= 0 || sum.LatencyMS.Max < sum.LatencyMS.P99 {
+		t.Fatalf("latencies %+v look wrong", sum.LatencyMS)
+	}
+}
+
+// TestRunFailOnErrorTripsOnDownServer pins the CI contract: transport
+// errors make -fail-on-error exit nonzero.
+func TestRunFailOnErrorTripsOnDownServer(t *testing.T) {
+	ts := bootBackend(t)
+	ts.Close() // nothing listening anymore
+	rc := run([]string{
+		"-addr", ts.URL,
+		"-duration", "200ms",
+		"-qps", "20",
+		"-concurrency", "2",
+		"-template", "ancestor(?, Y)",
+		"-args", "bart",
+		"-fail-on-error",
+	})
+	if rc != 1 {
+		t.Fatalf("run against a dead server: rc %d, want 1", rc)
+	}
+}
+
+// TestMutationScheduleExactRatio pins the mutation schedule to the
+// requested proportion for awkward ratios (0.6 used to yield 100%).
+func TestMutationScheduleExactRatio(t *testing.T) {
+	for _, ratio := range []float64{0.1, 0.3, 0.5, 0.6, 0.9} {
+		isMutation := func(k int) bool {
+			return int(float64(k+1)*ratio) > int(float64(k)*ratio)
+		}
+		const n = 1000
+		count := 0
+		for k := 0; k < n; k++ {
+			if isMutation(k) {
+				count++
+			}
+		}
+		if want := int(float64(n) * ratio); count < want-1 || count > want+1 {
+			t.Errorf("ratio %.1f: %d/%d mutations, want ~%d", ratio, count, n, want)
+		}
+	}
+}

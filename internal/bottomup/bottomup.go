@@ -12,11 +12,13 @@
 package bottomup
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strconv"
 
 	"chainlog/internal/ast"
+	"chainlog/internal/ctxpoll"
 	"chainlog/internal/edb"
 	"chainlog/internal/symtab"
 )
@@ -36,6 +38,14 @@ type Stats struct {
 // Naive computes the fixpoint by re-evaluating every rule against the
 // whole current database until nothing new appears.
 func Naive(prog *ast.Program, base *edb.Store) (*edb.Store, Stats, error) {
+	return NaiveCtx(nil, prog, base)
+}
+
+// NaiveCtx is Naive under a context, polled between rule evaluations so
+// a deadline aborts the fixpoint instead of running it to completion
+// (granularity: one rule pass — joins inside a single rule are not
+// interrupted). A nil ctx never cancels.
+func NaiveCtx(ctx context.Context, prog *ast.Program, base *edb.Store) (*edb.Store, Stats, error) {
 	ev, err := newEvaluator(prog, base)
 	if err != nil {
 		return nil, Stats{}, err
@@ -44,6 +54,9 @@ func Naive(prog *ast.Program, base *edb.Store) (*edb.Store, Stats, error) {
 		ev.stats.Iterations++
 		grew := false
 		for _, r := range prog.Rules {
+			if err := ctxpoll.Err(ctx); err != nil {
+				return nil, ev.stats, err
+			}
 			n := ev.evalRule(r, -1, nil, func(head []symtab.Sym) bool {
 				return ev.insert(r.Head.Pred, head)
 			})
@@ -62,6 +75,12 @@ func Naive(prog *ast.Program, base *edb.Store) (*edb.Store, Stats, error) {
 // instantiates rules through at least one fact derived in the previous
 // round, avoiding the re-firing naive evaluation performs.
 func Seminaive(prog *ast.Program, base *edb.Store) (*edb.Store, Stats, error) {
+	return SeminaiveCtx(nil, prog, base)
+}
+
+// SeminaiveCtx is Seminaive under a context, polled between rule
+// evaluations like NaiveCtx.
+func SeminaiveCtx(ctx context.Context, prog *ast.Program, base *edb.Store) (*edb.Store, Stats, error) {
 	ev, err := newEvaluator(prog, base)
 	if err != nil {
 		return nil, Stats{}, err
@@ -95,6 +114,9 @@ func Seminaive(prog *ast.Program, base *edb.Store) (*edb.Store, Stats, error) {
 		ev.stats.Iterations++
 		next := edb.NewStore(base.SymTab())
 		for _, r := range prog.Rules {
+			if err := ctxpoll.Err(ctx); err != nil {
+				return nil, ev.stats, err
+			}
 			for j, l := range r.Body {
 				if l.IsBuiltin() || !derived[l.Pred] {
 					continue

@@ -17,6 +17,7 @@
 package chaineval
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"slices"
@@ -34,30 +35,40 @@ import (
 // may alias the same answer slice, so callers must treat the returned
 // slices as read-only.
 func (e *Engine) QueryBatch(pred string, as []symtab.Sym) ([][]symtab.Sym, *Result, error) {
+	return e.QueryBatchCtx(nil, pred, as)
+}
+
+// QueryBatchCtx is QueryBatch under a context; see QueryCtx.
+func (e *Engine) QueryBatchCtx(ctx context.Context, pred string, as []symtab.Sym) ([][]symtab.Sym, *Result, error) {
 	if _, ok := e.sys.EquationFor(pred); !ok {
 		return nil, nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
-	return e.batch(e.sys, pred, as)
+	return e.batch(ctx, e.sys, pred, as)
 }
 
 // QueryBatchInverse is QueryBatch for p(X, b) bindings: one sorted X set
 // per b, evaluated over the reversed equation system.
 func (e *Engine) QueryBatchInverse(pred string, bs []symtab.Sym) ([][]symtab.Sym, *Result, error) {
+	return e.QueryBatchInverseCtx(nil, pred, bs)
+}
+
+// QueryBatchInverseCtx is QueryBatchInverse under a context.
+func (e *Engine) QueryBatchInverseCtx(ctx context.Context, pred string, bs []symtab.Sym) ([][]symtab.Sym, *Result, error) {
 	rev := e.reversedSystem()
 	if _, ok := rev.EquationFor(pred); !ok {
 		return nil, nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
-	return e.batch(rev, pred, bs)
+	return e.batch(ctx, rev, pred, bs)
 }
 
 // batch dispatches a binding set to the shared-traversal route (regular
 // equations) or the per-distinct-binding route.
-func (e *Engine) batch(sys *equations.System, pred string, as []symtab.Sym) ([][]symtab.Sym, *Result, error) {
+func (e *Engine) batch(ctx context.Context, sys *equations.System, pred string, as []symtab.Sym) ([][]symtab.Sym, *Result, error) {
 	if len(as) == 0 {
 		return nil, &Result{Converged: true}, nil
 	}
 	if e.regularFor(sys, pred) {
-		return e.batchRegular(sys, pred, as)
+		return e.batchRegular(ctx, sys, pred, as)
 	}
 
 	// Deduplicate bindings: non-regular traversals cannot share a graph,
@@ -83,12 +94,12 @@ func (e *Engine) batch(sys *equations.System, pred string, as []symtab.Sym) ([][
 				if k >= len(distinct) {
 					return
 				}
-				results[k], errs[k] = e.runWith(sys, pred, distinct[k], 1)
+				results[k], errs[k] = e.runWith(ctx, sys, pred, distinct[k], 1)
 			}
 		})
 	} else {
 		for k := range distinct {
-			results[k], errs[k] = e.run(sys, pred, distinct[k])
+			results[k], errs[k] = e.runCtx(ctx, sys, pred, distinct[k])
 		}
 	}
 
@@ -120,7 +131,7 @@ func (e *Engine) batch(sys *equations.System, pred string, as []symtab.Sym) ([][
 // small enough, and the reachable-term sets propagate as bitsets with
 // word-level unions when their total size is affordable; both fall back
 // to the map representation otherwise.
-func (e *Engine) batchRegular(sys *equations.System, pred string, sources []symtab.Sym) ([][]symtab.Sym, *Result, error) {
+func (e *Engine) batchRegular(ctx context.Context, sys *equations.System, pred string, sources []symtab.Sym) ([][]symtab.Sym, *Result, error) {
 	m := e.compileFor(sys, pred)
 	res := &Result{Iterations: 1, Converged: true}
 	rels := *e.rels.Load()
@@ -128,6 +139,8 @@ func (e *Engine) batchRegular(sys *equations.System, pred string, sources []symt
 	defer releaseScratch(sc)
 	sc.resetCounts(len(rels))
 	defer func() { flushCounts(*e.rels.Load(), sc.relCounts) }()
+	sc.cn = newCanceler(ctx)
+	cn := &sc.cn
 	bound, sparse := e.visitedMode()
 
 	// allPairsDenseLimit bounds the per-page id memory, and the
@@ -187,7 +200,13 @@ func (e *Engine) batchRegular(sys *equations.System, pred string, sources []symt
 		}
 		srcIDs[i] = id
 	}
+	ticks := 0
 	for len(stack) > 0 {
+		if ticks++; ticks&cancelCheckMask == 0 {
+			if err := cn.check(); err != nil {
+				return nil, nil, err
+			}
+		}
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		n := nodes[id]
@@ -219,7 +238,7 @@ func (e *Engine) batchRegular(sys *equations.System, pred string, sources []symt
 	}
 	res.Nodes = len(nodes)
 	if e.opts.MaxNodes > 0 && res.Nodes > e.opts.MaxNodes {
-		return nil, nil, fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
+		return nil, nil, e.maxNodesErr()
 	}
 
 	// Condense and propagate final-state terms bottom-up. Tarjan numbers
@@ -234,6 +253,10 @@ func (e *Engine) batchRegular(sys *equations.System, pred string, sources []symt
 	// reachWordBudget caps the dense propagation memory (in 8-byte
 	// words) before falling back to sparse sets.
 	const reachWordBudget = 1 << 24
+	// The propagation below is where a long-chain batch spends its time
+	// (up to ncomp passes over successor sets), so it polls the canceler
+	// like the graph build above — a served batch query must honor its
+	// deadline here too, not only during traversal.
 	if !sparse && bound > 0 && ncomp*words <= reachWordBudget {
 		reach := make([][]uint64, ncomp)
 		set := func(b []uint64, u symtab.Sym) []uint64 {
@@ -256,6 +279,11 @@ func (e *Engine) batchRegular(sys *equations.System, pred string, sources []symt
 			}
 		}
 		for c := 0; c < ncomp; c++ {
+			if c&cancelCheckMask == 0 {
+				if err := cn.check(); err != nil {
+					return nil, nil, err
+				}
+			}
 			for _, d := range dag.Succ(c) {
 				src := reach[d]
 				if len(src) == 0 {
@@ -298,6 +326,12 @@ func (e *Engine) batchRegular(sys *equations.System, pred string, sources []symt
 		}
 		reach := make([]map[symtab.Sym]bool, ncomp)
 		for c := 0; c < ncomp; c++ {
+			// Immediate poll, not tick: one component's union can copy
+			// O(answers) elements, so a once-per-4096 poll could let a
+			// deadline slip by seconds on the sparse path.
+			if err := cn.check(); err != nil {
+				return nil, nil, err
+			}
 			set := make(map[symtab.Sym]bool)
 			for t := range own[c] {
 				set[t] = true

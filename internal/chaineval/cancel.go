@@ -1,0 +1,91 @@
+// Request cancellation: the *Ctx entry points thread a context through
+// the traversal so a serving layer can enforce per-request deadlines.
+// The engine polls the context at the main-loop level boundary and —
+// because regular equations evaluate in a single iteration, where a
+// level-only check would never fire mid-query — every
+// cancelCheckInterval units of traversal work (node visits, closure
+// steps, batch-graph pops). Parallel workers poll once per claimed
+// frontier chunk. A canceled run returns an error wrapping the
+// context's cause, so callers can match context.DeadlineExceeded with
+// errors.Is; the pooled scratch is released normally and the engine
+// stays fully reusable.
+//
+// Deadlines are compared against the wall clock, not just the Done
+// channel: closing Done requires the runtime timer goroutine to be
+// scheduled, which on a single-core host can lag a busy traversal by
+// the async-preemption interval (~10ms) — longer than the deadlines a
+// serving layer hands out. Reading time.Now at each poll keeps
+// cancellation latency bounded by traversal work alone.
+package chaineval
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"chainlog/internal/ctxpoll"
+)
+
+// cancelCheckMask gates the hot loops' polls: each loop keeps a local
+// iteration counter and calls check() only when counter&cancelCheckMask
+// == 0 — one register increment and a predictable branch per iteration,
+// nothing touched in memory, so the context-free hot path stays at its
+// pre-cancellation speed. One poll per 4096 work units bounds the
+// cancellation latency to microseconds of extra work.
+const cancelCheckMask = 4096 - 1
+
+// canceler is the per-run cancellation poller. The zero value (nil
+// context) never fires.
+type canceler struct {
+	ctx      context.Context
+	done     <-chan struct{} // nil when cancellation is impossible
+	deadline time.Time
+	hasDL    bool
+}
+
+func newCanceler(ctx context.Context) canceler {
+	if ctx == nil {
+		return canceler{}
+	}
+	c := canceler{ctx: ctx, done: ctx.Done()}
+	c.deadline, c.hasDL = ctx.Deadline()
+	return c
+}
+
+// ContextErr is ctxpoll.Err re-exported for the package's callers (the
+// chainlog layer polls it between evaluation phases).
+func ContextErr(ctx context.Context) error {
+	return ctxpoll.Err(ctx)
+}
+
+// stopped polls the context without mutating poller state — safe for
+// concurrent use by parallel traversal workers.
+func (c *canceler) stopped() bool {
+	if c.done == nil {
+		return false
+	}
+	if c.hasDL && time.Now().After(c.deadline) {
+		return true
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// check polls the context immediately, converting a fired deadline or
+// cancellation into the run's error.
+func (c *canceler) check() error {
+	if !c.stopped() {
+		return nil
+	}
+	cause := context.Cause(c.ctx)
+	if cause == nil {
+		// The wall clock passed the deadline before the context's own
+		// timer goroutine got scheduled; report what the context will.
+		cause = context.DeadlineExceeded
+	}
+	return fmt.Errorf("chaineval: evaluation canceled: %w", cause)
+}

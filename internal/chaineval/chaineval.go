@@ -26,6 +26,8 @@
 package chaineval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -311,10 +313,18 @@ func (e *Engine) visitedMode() (bound int, sparse bool) {
 
 // Query evaluates p(a, Y) and returns the sorted set of Y values.
 func (e *Engine) Query(pred string, a symtab.Sym) (*Result, error) {
+	return e.QueryCtx(nil, pred, a)
+}
+
+// QueryCtx is Query under a context: the traversal polls ctx at every
+// main-loop level boundary and every cancelCheckInterval node visits,
+// returning an error wrapping context.Cause(ctx) once it fires. A nil
+// ctx never cancels and adds no overhead.
+func (e *Engine) QueryCtx(ctx context.Context, pred string, a symtab.Sym) (*Result, error) {
 	if _, ok := e.sys.EquationFor(pred); !ok {
 		return nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
-	return e.run(e.sys, pred, a)
+	return e.runCtx(ctx, e.sys, pred, a)
 }
 
 // QueryStream evaluates p(a, Y) like Query but delivers the sorted
@@ -329,7 +339,7 @@ func (e *Engine) QueryStream(pred string, a symtab.Sym, yield func(symtab.Sym)) 
 	}
 	sc := acquireScratch()
 	defer releaseScratch(sc)
-	if err := e.runInto(e.sys, pred, a, sc, e.traversalWorkers()); err != nil {
+	if err := e.runInto(nil, e.sys, pred, a, sc, e.traversalWorkers()); err != nil {
 		return err
 	}
 	for _, v := range sc.answers {
@@ -342,11 +352,16 @@ func (e *Engine) QueryStream(pred string, a symtab.Sym, yield func(symtab.Sym)) 
 // reversed equation system (the paper: "to evaluate p(X,b), simply apply
 // the algorithm to the query r(b,Y), where r is the inverse of p").
 func (e *Engine) QueryInverse(pred string, b symtab.Sym) (*Result, error) {
+	return e.QueryInverseCtx(nil, pred, b)
+}
+
+// QueryInverseCtx is QueryInverse under a context; see QueryCtx.
+func (e *Engine) QueryInverseCtx(ctx context.Context, pred string, b symtab.Sym) (*Result, error) {
 	rev := e.reversedSystem()
 	if _, ok := rev.EquationFor(pred); !ok {
 		return nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
-	return e.run(rev, pred, b)
+	return e.runCtx(ctx, rev, pred, b)
 }
 
 // QueryInverseStream is QueryStream over the reversed system: p(X, b)
@@ -358,7 +373,7 @@ func (e *Engine) QueryInverseStream(pred string, b symtab.Sym, yield func(symtab
 	}
 	sc := acquireScratch()
 	defer releaseScratch(sc)
-	if err := e.runInto(rev, pred, b, sc, e.traversalWorkers()); err != nil {
+	if err := e.runInto(nil, rev, pred, b, sc, e.traversalWorkers()); err != nil {
 		return err
 	}
 	for _, v := range sc.answers {
@@ -389,11 +404,16 @@ func (e *Engine) QueryBoolean(pred string, a, b symtab.Sym) (bool, *Result, erro
 // optimization (Tarjan) so shared subgraphs are traversed once; otherwise
 // it evaluates per source.
 func (e *Engine) QueryAll(pred string, domain []symtab.Sym) ([][2]symtab.Sym, *Result, error) {
+	return e.QueryAllCtx(nil, pred, domain)
+}
+
+// QueryAllCtx is QueryAll under a context; see QueryCtx.
+func (e *Engine) QueryAllCtx(ctx context.Context, pred string, domain []symtab.Sym) ([][2]symtab.Sym, *Result, error) {
 	if _, ok := e.sys.EquationFor(pred); !ok {
 		return nil, nil, fmt.Errorf("chaineval: no equation for predicate %s", pred)
 	}
 	if e.regularFor(e.sys, pred) {
-		answers, res, err := e.batchRegular(e.sys, pred, domain)
+		answers, res, err := e.batchRegular(ctx, e.sys, pred, domain)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -409,7 +429,7 @@ func (e *Engine) QueryAll(pred string, domain []symtab.Sym) ([][2]symtab.Sym, *R
 	var pairs [][2]symtab.Sym
 	agg := &Result{Converged: true}
 	for _, a := range domain {
-		res, err := e.run(e.sys, pred, a)
+		res, err := e.runCtx(ctx, e.sys, pred, a)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -436,16 +456,21 @@ type node struct {
 // run executes the traversal with pooled scratch and materializes a
 // Result for callers that need the statistics.
 func (e *Engine) run(sys *equations.System, pred string, a symtab.Sym) (*Result, error) {
-	return e.runWith(sys, pred, a, e.traversalWorkers())
+	return e.runWith(nil, sys, pred, a, e.traversalWorkers())
+}
+
+// runCtx is run under a cancellation context (nil = none).
+func (e *Engine) runCtx(ctx context.Context, sys *equations.System, pred string, a symtab.Sym) (*Result, error) {
+	return e.runWith(ctx, sys, pred, a, e.traversalWorkers())
 }
 
 // runWith is run with an explicit traversal worker count: batch
 // evaluation pins it to 1 when the batch itself is fanned out across
 // workers, so nested parallelism cannot oversubscribe the host.
-func (e *Engine) runWith(sys *equations.System, pred string, a symtab.Sym, workers int) (*Result, error) {
+func (e *Engine) runWith(ctx context.Context, sys *equations.System, pred string, a symtab.Sym, workers int) (*Result, error) {
 	sc := acquireScratch()
 	defer releaseScratch(sc)
-	if err := e.runInto(sys, pred, a, sc, workers); err != nil {
+	if err := e.runInto(ctx, sys, pred, a, sc, workers); err != nil {
 		return nil, err
 	}
 	res := new(Result)
@@ -480,17 +505,23 @@ func (e *Engine) probe(t *automaton.Edge, u symtab.Sym, rels []*edb.Relation, co
 	return e.src.Successors(t.Label.Pred, u)
 }
 
+// ErrMaxNodes is the sentinel wrapped by every interpretation-graph
+// resource-bound error, so callers (the serving layer's admission
+// control) can classify the failure with errors.Is.
+var ErrMaxNodes = errors.New("interpretation graph exceeded MaxNodes")
+
 // maxNodesErr is the interpretation-graph resource-bound error; one
 // constructor so the sequential and parallel paths report identically.
 func (e *Engine) maxNodesErr() error {
-	return fmt.Errorf("chaineval: interpretation graph exceeded MaxNodes=%d", e.opts.MaxNodes)
+	return fmt.Errorf("chaineval: %w=%d", ErrMaxNodes, e.opts.MaxNodes)
 }
 
 // runInto is the main program of Figure 4. It leaves the statistics in
 // sc.res and the sorted answer set in sc.answers; everything it touches
 // lives in sc, so a warm scratch makes the whole run allocation-free
-// until the automaton itself must grow (EM expansion).
-func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *runScratch, workers int) error {
+// until the automaton itself must grow (EM expansion). A non-nil ctx is
+// polled at level boundaries and every cancelCheckInterval node visits.
+func (e *Engine) runInto(ctx context.Context, sys *equations.System, pred string, a symtab.Sym, sc *runScratch, workers int) error {
 	em := e.compileFor(sys, pred)
 	if !e.regularFor(sys, pred) {
 		// EM(p,1) = copy of M(e_p); expansion will mutate it, so copy
@@ -507,10 +538,16 @@ func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *r
 	sc.resetCounts(len(rels))
 	defer func() { flushCounts(*e.rels.Load(), sc.relCounts) }()
 
+	sc.cn = newCanceler(ctx)
+	cn := &sc.cn
 	bound, sparse := e.visitedMode()
 	var iterBound int
 	if !e.opts.DisableCyclicGuard {
-		iterBound = e.cyclicBound(sys, pred, a, sc, rels, bound, sparse)
+		var err error
+		iterBound, err = e.cyclicBound(cn, sys, pred, a, sc, rels, bound, sparse)
+		if err != nil {
+			return err
+		}
 	}
 
 	G := &sc.G
@@ -546,7 +583,13 @@ func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *r
 	// or map lookups — and base probes go through the resolved-relation
 	// table.
 	traverse := func() error {
+		ticks := 0
 		for len(sc.stack) > 0 {
+			if ticks++; ticks&cancelCheckMask == 0 {
+				if err := cn.check(); err != nil {
+					return err
+				}
+			}
 			n := sc.stack[len(sc.stack)-1]
 			sc.stack = sc.stack[:len(sc.stack)-1]
 			continued := false
@@ -587,6 +630,12 @@ func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *r
 		if e.opts.Tracer != nil {
 			e.opts.Tracer.Iteration(res.Iterations)
 		}
+		// Level boundary: the canonical cancellation point (regular
+		// equations converge in one iteration, so traverse/the parallel
+		// workers poll mid-level too).
+		if err := cn.check(); err != nil {
+			return err
+		}
 		sc.cont = sc.cont[:0]
 		prevAnswers := len(sc.answers)
 		if workers > 1 {
@@ -597,7 +646,7 @@ func (e *Engine) runInto(sys *equations.System, pred string, a symtab.Sym, sc *r
 					return e.maxNodesErr()
 				}
 			}
-			if err := e.traverseParallel(em, sc, rels, workers, bound, sparse, visit); err != nil {
+			if err := e.traverseParallel(cn, em, sc, rels, workers, bound, sparse, visit); err != nil {
 				return err
 			}
 		} else {
@@ -829,11 +878,12 @@ func reverseExpr(ex expr.Expr, derived map[string]bool) expr.Expr {
 // the query constant by repeated application of e1, and n the number of
 // nodes accessible via e2 from the e0-images of those (the paper's D1 and
 // D2 sets). Returns 0 when the shape does not apply. All working sets
-// come from sc, so warm calls allocate nothing.
-func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym, sc *runScratch, rels []*edb.Relation, bound int, sparse bool) int {
+// come from sc, so warm calls allocate nothing. The closures walk the
+// same data the traversal will, so they poll the run's canceler too.
+func (e *Engine) cyclicBound(cn *canceler, sys *equations.System, pred string, a symtab.Sym, sc *runScratch, rels []*edb.Relation, bound int, sparse bool) (int, error) {
 	sh := e.shapeFor(sys, pred)
 	if !sh.ok {
-		return 0
+		return 0, nil
 	}
 	// shapeFor may have just resolved relations the part automata refer
 	// to; reload so their annotated edges index in bounds.
@@ -841,13 +891,20 @@ func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym, s
 		rels = cur
 		sc.growCounts(len(rels))
 	}
+	var err error
 	sc.d1 = append(sc.d1[:0], a)
-	sc.d1 = e.closure(sh.e1, sc.d1, sc, rels, bound, sparse)
+	if sc.d1, err = e.closure(cn, sh.e1, sc.d1, sc, rels, bound, sparse); err != nil {
+		return 0, err
+	}
 	sc.d2 = sc.d2[:0]
 	for _, s := range sc.d1 {
-		sc.d2 = e.regularImage(sh.e0, s, sc.d2, sc, rels, bound, sparse)
+		if sc.d2, err = e.regularImage(cn, sh.e0, s, sc.d2, sc, rels, bound, sparse); err != nil {
+			return 0, err
+		}
 	}
-	sc.d2 = e.closure(sh.e2, sc.d2, sc, rels, bound, sparse)
+	if sc.d2, err = e.closure(cn, sh.e2, sc.d2, sc, rels, bound, sparse); err != nil {
+		return 0, err
+	}
 	m, n := len(sc.d1), len(sc.d2)
 	if m == 0 {
 		m = 1
@@ -855,14 +912,14 @@ func (e *Engine) cyclicBound(sys *equations.System, pred string, a symtab.Sym, s
 	if n == 0 {
 		n = 1
 	}
-	return m * n
+	return m * n, nil
 }
 
 // closure extends the seed terms already in dst to the set of terms
 // reachable from them by zero or more applications of the relation
 // denoted by the compiled automaton m. dst doubles as the worklist; the
 // deduplicated closure (seeds included) is returned in place.
-func (e *Engine) closure(m *automaton.NFA, dst []symtab.Sym, sc *runScratch, rels []*edb.Relation, bound int, sparse bool) []symtab.Sym {
+func (e *Engine) closure(cn *canceler, m *automaton.NFA, dst []symtab.Sym, sc *runScratch, rels []*edb.Relation, bound int, sparse bool) ([]symtab.Sym, error) {
 	sc.terms.reset(bound, sparse)
 	n := 0
 	for _, s := range dst {
@@ -872,29 +929,38 @@ func (e *Engine) closure(m *automaton.NFA, dst []symtab.Sym, sc *runScratch, rel
 		}
 	}
 	dst = dst[:n]
+	var err error
 	for i := 0; i < len(dst); i++ {
-		sc.img = e.regularImage(m, dst[i], sc.img[:0], sc, rels, bound, sparse)
+		if sc.img, err = e.regularImage(cn, m, dst[i], sc.img[:0], sc, rels, bound, sparse); err != nil {
+			return dst, err
+		}
 		for _, v := range sc.img {
 			if sc.terms.add(v) {
 				dst = append(dst, v)
 			}
 		}
 	}
-	return dst
+	return dst, nil
 }
 
 // regularImage appends to out the terms at the final state of a
 // single-iteration traversal of the derived-free automaton m from u.
 // Node-level deduplication (sc.rG) guarantees each image term is
 // appended at most once.
-func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym, out []symtab.Sym, sc *runScratch, rels []*edb.Relation, bound int, sparse bool) []symtab.Sym {
+func (e *Engine) regularImage(cn *canceler, m *automaton.NFA, u symtab.Sym, out []symtab.Sym, sc *runScratch, rels []*edb.Relation, bound int, sparse bool) ([]symtab.Sym, error) {
 	sc.rG.reset(bound, sparse)
 	sc.rStack = append(sc.rStack[:0], node{m.Start, u})
 	sc.rG.visit(m.Start, u)
 	if m.Start == m.Final {
 		out = append(out, u)
 	}
+	ticks := 0
 	for len(sc.rStack) > 0 {
+		if ticks++; ticks&cancelCheckMask == 0 {
+			if err := cn.check(); err != nil {
+				return out, err
+			}
+		}
 		n := sc.rStack[len(sc.rStack)-1]
 		sc.rStack = sc.rStack[:len(sc.rStack)-1]
 		edges := m.Edges(n.q)
@@ -922,7 +988,7 @@ func (e *Engine) regularImage(m *automaton.NFA, u symtab.Sym, out []symtab.Sym, 
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 func sortPairs(pairs [][2]symtab.Sym) {

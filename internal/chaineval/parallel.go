@@ -105,8 +105,13 @@ func FanOut(W int, f func(w int)) {
 // level, sharding levels of at least parFrontierThreshold nodes across
 // the worker pool. It is the parallel counterpart of runInto's traverse:
 // same visited set, same continuation collection, same MaxNodes error.
-func (e *Engine) traverseParallel(em *automaton.NFA, sc *runScratch, rels []*edb.Relation, workers, bound int, sparse bool, visit func(node) bool) error {
+// The canceler is polled per level and per frontier node inline; sharded
+// workers poll the context's done channel once per claimed chunk.
+func (e *Engine) traverseParallel(cn *canceler, em *automaton.NFA, sc *runScratch, rels []*edb.Relation, workers, bound int, sparse bool, visit func(node) bool) error {
 	for len(sc.stack) > 0 {
+		if err := cn.check(); err != nil {
+			return err
+		}
 		// The stack holds the current level's nodes (pushed by visit);
 		// swap it out so visit can accumulate the next level.
 		sc.frontier, sc.stack = sc.stack, sc.frontier[:0]
@@ -115,12 +120,12 @@ func (e *Engine) traverseParallel(em *automaton.NFA, sc *runScratch, rels []*edb
 			W = byChunk
 		}
 		if len(sc.frontier) < parFrontierThreshold || W <= 1 {
-			if err := e.processLevel(em, sc, rels, visit); err != nil {
+			if err := e.processLevel(cn, em, sc, rels, visit); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := e.processLevelParallel(em, sc, rels, W, bound, sparse, visit); err != nil {
+		if err := e.processLevelParallel(cn, em, sc, rels, W, bound, sparse, visit); err != nil {
 			return err
 		}
 	}
@@ -130,8 +135,13 @@ func (e *Engine) traverseParallel(em *automaton.NFA, sc *runScratch, rels []*edb
 // processLevel advances one small level inline: the sequential edge
 // dispatch over every frontier node, with visit accumulating the next
 // level on sc.stack.
-func (e *Engine) processLevel(em *automaton.NFA, sc *runScratch, rels []*edb.Relation, visit func(node) bool) error {
-	for _, n := range sc.frontier {
+func (e *Engine) processLevel(cn *canceler, em *automaton.NFA, sc *runScratch, rels []*edb.Relation, visit func(node) bool) error {
+	for i, n := range sc.frontier {
+		if i&cancelCheckMask == 0 {
+			if err := cn.check(); err != nil {
+				return err
+			}
+		}
 		continued := false
 		edges := em.Edges(n.q)
 		for i := range edges {
@@ -165,7 +175,7 @@ func (e *Engine) processLevel(em *automaton.NFA, sc *runScratch, rels []*edb.Rel
 // processLevelParallel shards one level across W workers (the calling
 // goroutine is worker zero) and merges their results into the global
 // traversal state.
-func (e *Engine) processLevelParallel(em *automaton.NFA, sc *runScratch, rels []*edb.Relation, W, bound int, sparse bool, visit func(node) bool) error {
+func (e *Engine) processLevelParallel(cn *canceler, em *automaton.NFA, sc *runScratch, rels []*edb.Relation, W, bound int, sparse bool, visit func(node) bool) error {
 	if cap(sc.workers) < W {
 		sc.workers = make([]*parWorker, W)
 	}
@@ -183,6 +193,11 @@ func (e *Engine) processLevelParallel(em *automaton.NFA, sc *runScratch, rels []
 	var cursor atomic.Int64
 	work := func(pw *parWorker) {
 		for {
+			if cn.stopped() {
+				// Abandon the rest of the level; the coordinator's
+				// post-merge check reports the cancellation.
+				return
+			}
 			c := int(cursor.Add(1)) - 1
 			lo := c * chunk
 			if lo >= len(frontier) {
@@ -202,6 +217,9 @@ func (e *Engine) processLevelParallel(em *automaton.NFA, sc *runScratch, rels []
 			err = e.mergeWorker(em, sc, pw, visit)
 		}
 		parWorkerPool.Put(pw)
+	}
+	if err == nil {
+		err = cn.check()
 	}
 	return err
 }

@@ -255,6 +255,10 @@ func (s *symSet) add(u symtab.Sym) bool {
 // Run reuses one warm allocation-free instance.
 type runScratch struct {
 	res Result
+	// cn is the run's cancellation poller. It lives in the scratch so
+	// taking its address (the traversal closures and helpers share one
+	// poller) does not heap-allocate on the warm path.
+	cn canceler
 	// em is the run's mutable EM(p,i) automaton for non-regular
 	// equations; CloneInto reuses its storage run over run.
 	em      automaton.NFA
@@ -324,5 +328,9 @@ var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
 func acquireScratch() *runScratch { return scratchPool.Get().(*runScratch) }
 
 // releaseScratch returns sc to the pool. Slices keep their capacity;
-// sets are cleared on the next reset.
-func releaseScratch(sc *runScratch) { scratchPool.Put(sc) }
+// sets are cleared on the next reset. The canceler is dropped so the
+// pool does not pin a request's context.
+func releaseScratch(sc *runScratch) {
+	sc.cn = canceler{}
+	scratchPool.Put(sc)
+}

@@ -1,0 +1,35 @@
+// Package ctxpoll is the one shared implementation of context polling
+// for evaluation loops. Its single subtlety: the deadline is compared
+// against the wall clock, not just the Done channel — closing Done
+// requires the runtime timer goroutine to be scheduled, which on a
+// single-core host can trail a busy evaluation loop by the
+// async-preemption interval (~10ms), longer than the deadlines a
+// serving layer hands out. Every evaluator that honors contexts (the
+// chain engine's canceler, the bottom-up fixpoints, the chainlog answer
+// pipeline) polls through here so the workaround lives in one place.
+package ctxpoll
+
+import (
+	"context"
+	"time"
+)
+
+// Err polls ctx (nil-safe), returning its cause once it is done and nil
+// otherwise.
+func Err(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Now().After(dl) {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+		return context.DeadlineExceeded
+	}
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	default:
+		return nil
+	}
+}

@@ -23,6 +23,7 @@
 package magic
 
 import (
+	"context"
 	"fmt"
 
 	"chainlog/internal/adorn"
@@ -107,7 +108,13 @@ func Rewrite(ap *adorn.Program) (*Rewritten, error) {
 // and returns the sorted answer rows (projections onto the query's free
 // variables) together with the evaluation statistics.
 func (rw *Rewritten) Answer(base *edb.Store) ([][]symtab.Sym, bottomup.Stats, error) {
-	idb, stats, err := bottomup.Seminaive(rw.Program, base)
+	return rw.AnswerCtx(nil, base)
+}
+
+// AnswerCtx is Answer under a context; the seminaive fixpoint polls it
+// between rule evaluations (see bottomup.SeminaiveCtx).
+func (rw *Rewritten) AnswerCtx(ctx context.Context, base *edb.Store) ([][]symtab.Sym, bottomup.Stats, error) {
+	idb, stats, err := bottomup.SeminaiveCtx(ctx, rw.Program, base)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -116,6 +123,11 @@ func (rw *Rewritten) Answer(base *edb.Store) ([][]symtab.Sym, bottomup.Stats, er
 
 // Evaluate is the one-call convenience: adorn, rewrite, evaluate.
 func Evaluate(prog *ast.Program, q ast.Query, base *edb.Store) ([][]symtab.Sym, bottomup.Stats, error) {
+	return EvaluateCtx(nil, prog, q, base)
+}
+
+// EvaluateCtx is Evaluate under a context; see AnswerCtx.
+func EvaluateCtx(ctx context.Context, prog *ast.Program, q ast.Query, base *edb.Store) ([][]symtab.Sym, bottomup.Stats, error) {
 	ap, err := adorn.Adorn(prog, q)
 	if err != nil {
 		return nil, bottomup.Stats{}, fmt.Errorf("magic: %w", err)
@@ -124,7 +136,7 @@ func Evaluate(prog *ast.Program, q ast.Query, base *edb.Store) ([][]symtab.Sym, 
 	if err != nil {
 		return nil, bottomup.Stats{}, err
 	}
-	return rw.Answer(base)
+	return rw.AnswerCtx(ctx, base)
 }
 
 func termSlice(ts []ast.Term) []ast.Term { return ts }

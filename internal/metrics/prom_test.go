@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests served", Labels("endpoint", "query", "code", "200"))
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("in_flight", "concurrent requests", "")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP requests_total requests served",
+		"# TYPE requests_total counter",
+		`requests_total{endpoint="query",code="200"} 3`,
+		"# TYPE in_flight gauge",
+		"in_flight 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterSeriesReuse(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Labels("code", "200"))
+	b := r.Counter("x_total", "", Labels("code", "200"))
+	if a != b {
+		t.Fatal("same name+labels must return the same series")
+	}
+	c := r.Counter("x_total", "", Labels("code", "504"))
+	if a == c {
+		t.Fatal("distinct labels must return distinct series")
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "request latency", Labels("endpoint", "query"), []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // first bucket
+	h.Observe(0.05)  // second
+	h.Observe(0.5)   // third
+	h.Observe(5)     // +Inf
+	h.Observe(0.1)   // boundary lands in its own bucket (le="0.1")
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{endpoint="query",le="0.01"} 1`,
+		`latency_seconds_bucket{endpoint="query",le="0.1"} 3`,
+		`latency_seconds_bucket{endpoint="query",le="1"} 4`,
+		`latency_seconds_bucket{endpoint="query",le="+Inf"} 5`,
+		`latency_seconds_count{endpoint="query"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 41.5
+	r.GaugeFunc("cache_size", "entries", "", func() float64 { return v })
+	v = 42
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "cache_size 42") {
+		t.Errorf("GaugeFunc must read at scrape time:\n%s", b.String())
+	}
+}
+
+// TestConcurrentObserve exercises the lock-free paths under the race
+// detector.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", "")
+	h := r.Histogram("h_seconds", "", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"chainlog"
+)
+
+// maxBodyBytes bounds request bodies; a query or delta body past 8 MiB
+// is a client bug, not a workload.
+const maxBodyBytes = 8 << 20
+
+// QueryRequest is the body of POST /v1/query. Exactly one of Query
+// (a concrete one-shot literal) or Template (a '?'-parameterized
+// prepared-plan template) must be set; Template runs either Args (one
+// vector) or Batch (many vectors, evaluated through the shared-traversal
+// batch route).
+type QueryRequest struct {
+	Query    string     `json:"query,omitempty"`
+	Template string     `json:"template,omitempty"`
+	Args     []string   `json:"args,omitempty"`
+	Batch    [][]string `json:"batch,omitempty"`
+
+	// Strategy selects the evaluation method by name ("chain" default;
+	// "seminaive", "magic", ...).
+	Strategy string `json:"strategy,omitempty"`
+	// TimeoutMS is the per-request evaluation deadline, clamped to the
+	// server's MaxTimeout; 0 inherits DefaultTimeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MaxNodes caps the interpretation graph, clamped to the server's
+	// admission cap; 0 inherits the cap.
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// Stats includes evaluation statistics in the response.
+	Stats bool `json:"stats,omitempty"`
+}
+
+// QueryResult is one evaluated query.
+type QueryResult struct {
+	Vars []string   `json:"vars"`
+	Rows [][]string `json:"rows"`
+	// True reports, for fully bound queries (no free variables), whether
+	// the fact holds.
+	True  bool       `json:"true,omitempty"`
+	Stats *StatsJSON `json:"stats,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query: Result for
+// single evaluations, Results (in input order) for batch bodies.
+type QueryResponse struct {
+	Result  *QueryResult  `json:"result,omitempty"`
+	Results []QueryResult `json:"results,omitempty"`
+}
+
+// StatsJSON mirrors chainlog.Stats for the wire.
+type StatsJSON struct {
+	Strategy       string `json:"strategy"`
+	Iterations     int    `json:"iterations"`
+	Nodes          int    `json:"nodes"`
+	Expansions     int    `json:"expansions"`
+	FactsConsulted int64  `json:"facts_consulted"`
+	Lookups        int64  `json:"lookups"`
+	Converged      bool   `json:"converged"`
+}
+
+// FactJSON is one ground fact on the wire.
+type FactJSON struct {
+	Pred string   `json:"pred"`
+	Args []string `json:"args"`
+}
+
+// MutationRequest is the body of POST /v1/assert and POST /v1/retract.
+type MutationRequest struct {
+	Facts []FactJSON `json:"facts"`
+}
+
+// DeltaOp is one operation of an ordered POST /v1/delta batch.
+type DeltaOp struct {
+	// Op is "assert" or "retract".
+	Op   string   `json:"op"`
+	Pred string   `json:"pred"`
+	Args []string `json:"args"`
+}
+
+// DeltaRequest is the body of POST /v1/delta.
+type DeltaRequest struct {
+	Ops []DeltaOp `json:"ops"`
+}
+
+// MutationResponse reports what a mutation endpoint changed (no-ops
+// excluded, matching ApplyResult).
+type MutationResponse struct {
+	Asserted  int `json:"asserted"`
+	Retracted int `json:"retracted"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON body into v: unknown fields and
+// trailing garbage are client errors.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed body: %v", err)
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "malformed body: trailing data after JSON value")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	switch {
+	case req.Query == "" && req.Template == "":
+		writeError(w, http.StatusBadRequest, "one of \"query\" or \"template\" is required")
+		return
+	case req.Query != "" && req.Template != "":
+		writeError(w, http.StatusBadRequest, "\"query\" and \"template\" are mutually exclusive")
+		return
+	case req.Query != "" && (req.Args != nil || req.Batch != nil):
+		writeError(w, http.StatusBadRequest, "\"args\"/\"batch\" require \"template\"")
+		return
+	case req.Args != nil && req.Batch != nil:
+		writeError(w, http.StatusBadRequest, "\"args\" and \"batch\" are mutually exclusive")
+		return
+	case req.Batch != nil && len(req.Batch) == 0:
+		writeError(w, http.StatusBadRequest, "\"batch\" must name at least one binding vector")
+		return
+	}
+	strategy, err := chainlog.ParseStrategy(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts := s.registry.base
+	opts.Strategy = strategy
+	opts.MaxNodes = s.admitMaxNodes(req.MaxNodes)
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	if req.Query != "" {
+		// One-shot literal: the DB's internal plan cache templateizes it,
+		// so repeated shapes share plans here too.
+		ans, err := s.db.QueryOptsCtx(ctx, req.Query, opts)
+		if err != nil {
+			writeError(w, httpStatusFor(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{Result: toResult(ans, req.Stats)})
+		return
+	}
+
+	p, err := s.registry.lookup(ctx, req.Template, opts)
+	if err != nil {
+		writeError(w, httpStatusFor(err), "%v", err)
+		return
+	}
+	if req.Batch != nil {
+		answers, err := p.RunBatchCtx(ctx, req.Batch)
+		if err != nil {
+			writeError(w, httpStatusFor(err), "%v", err)
+			return
+		}
+		results := make([]QueryResult, len(answers))
+		for i, ans := range answers {
+			results[i] = *toResult(ans, req.Stats)
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{Results: results})
+		return
+	}
+	ans, err := p.RunCtx(ctx, req.Args...)
+	if err != nil {
+		writeError(w, httpStatusFor(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Result: toResult(ans, req.Stats)})
+}
+
+func toResult(ans *chainlog.Answer, withStats bool) *QueryResult {
+	res := &QueryResult{Vars: ans.Vars, Rows: ans.Rows, True: ans.True}
+	if res.Vars == nil {
+		res.Vars = []string{}
+	}
+	if res.Rows == nil {
+		res.Rows = [][]string{}
+	}
+	if withStats {
+		res.Stats = &StatsJSON{
+			Strategy:       ans.Stats.Strategy.String(),
+			Iterations:     ans.Stats.Iterations,
+			Nodes:          ans.Stats.Nodes,
+			Expansions:     ans.Stats.Expansions,
+			FactsConsulted: ans.Stats.FactsConsulted,
+			Lookups:        ans.Stats.Lookups,
+			Converged:      ans.Stats.Converged,
+		}
+	}
+	return res
+}
+
+// checkFacts validates a mutation body's shape.
+func checkFacts(w http.ResponseWriter, facts []FactJSON) bool {
+	if len(facts) == 0 {
+		writeError(w, http.StatusBadRequest, "\"facts\" must name at least one fact")
+		return false
+	}
+	for i, f := range facts {
+		if f.Pred == "" || len(f.Args) == 0 {
+			writeError(w, http.StatusBadRequest, "facts[%d]: \"pred\" and \"args\" are required", i)
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
+	var req MutationRequest
+	if !decodeBody(w, r, &req) || !checkFacts(w, req.Facts) {
+		return
+	}
+	d := &chainlog.Delta{}
+	for _, f := range req.Facts {
+		d.Assert(f.Pred, f.Args...)
+	}
+	res := s.db.Apply(d)
+	s.mutations.Add(uint64(res.Asserted + res.Retracted))
+	writeJSON(w, http.StatusOK, MutationResponse{Asserted: res.Asserted})
+}
+
+func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
+	var req MutationRequest
+	if !decodeBody(w, r, &req) || !checkFacts(w, req.Facts) {
+		return
+	}
+	d := &chainlog.Delta{}
+	for _, f := range req.Facts {
+		d.Retract(f.Pred, f.Args...)
+	}
+	res := s.db.Apply(d)
+	s.mutations.Add(uint64(res.Asserted + res.Retracted))
+	writeJSON(w, http.StatusOK, MutationResponse{Retracted: res.Retracted})
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	var req DeltaRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "\"ops\" must name at least one operation")
+		return
+	}
+	d := &chainlog.Delta{}
+	for i, op := range req.Ops {
+		if op.Pred == "" || len(op.Args) == 0 {
+			writeError(w, http.StatusBadRequest, "ops[%d]: \"pred\" and \"args\" are required", i)
+			return
+		}
+		switch op.Op {
+		case "assert":
+			d.Assert(op.Pred, op.Args...)
+		case "retract":
+			d.Retract(op.Pred, op.Args...)
+		default:
+			writeError(w, http.StatusBadRequest, "ops[%d]: unknown op %q (want \"assert\" or \"retract\")", i, op.Op)
+			return
+		}
+	}
+	res := s.db.Apply(d)
+	s.mutations.Add(uint64(res.Asserted + res.Retracted))
+	writeJSON(w, http.StatusOK, MutationResponse{Asserted: res.Asserted, Retracted: res.Retracted})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	out, err := s.db.Explain(r.URL.Query().Get("query"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WriteText(w)
+}

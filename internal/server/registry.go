@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"chainlog"
+
+	"chainlog/internal/metrics"
+)
+
+// planKey identifies one prepared plan in the serving registry: the
+// query template text plus the per-request options that affect plan
+// compilation. Binding values are runtime parameters, so every request
+// shape maps to exactly one key however many constants it is run for.
+type planKey struct {
+	template string
+	strategy chainlog.Strategy
+	maxNodes int
+}
+
+// planEntry is one registry slot. The goroutine that inserts the entry
+// compiles the plan and closes ready; every other goroutine asking for
+// the same key blocks on ready (or its request context) instead of
+// compiling — single-flight coalescing, so a thundering herd of
+// identical cold queries costs one Prepare.
+type planEntry struct {
+	ready chan struct{}
+	plan  *chainlog.Prepared
+	err   error
+}
+
+// maxRegistryEntries bounds the registry: the key includes
+// client-supplied fields (template text, max_nodes), so an adversarial
+// or misbehaving client could otherwise grow it without limit. At the
+// bound the whole map is dropped — plans recompile on demand, so the
+// cost of a reset is a brief compile burst, never wrong answers.
+const maxRegistryEntries = 1024
+
+// planRegistry is the server's concurrent prepared-plan cache on top of
+// DB.Prepare. It is distinct from the DB's internal plan cache: keys are
+// raw template strings (no parsing needed on the hit path), options are
+// the server's admission-controlled subset, and misses are coalesced.
+// Entries otherwise live until the registry is dropped — plans survive
+// fact churn by design (the Prepared refreshes itself), and rule changes
+// make the plans self-recompile on their next Run, so eviction is never
+// needed for correctness, only for the memory bound above.
+type planRegistry struct {
+	db   *chainlog.DB
+	base chainlog.Options // server-wide option defaults (parallelism etc.)
+
+	mu      sync.Mutex
+	entries map[planKey]*planEntry
+
+	hits     *metrics.Counter
+	misses   *metrics.Counter
+	compiles *metrics.Counter
+}
+
+func newPlanRegistry(db *chainlog.DB, base chainlog.Options, reg *metrics.Registry) *planRegistry {
+	return &planRegistry{
+		db:      db,
+		base:    base,
+		entries: make(map[planKey]*planEntry),
+		hits: reg.Counter("chainlogd_plan_cache_hits_total",
+			"Queries served by an already-compiled plan in the serving registry.", ""),
+		misses: reg.Counter("chainlogd_plan_cache_misses_total",
+			"Queries that found no compiled plan in the serving registry.", ""),
+		compiles: reg.Counter("chainlogd_plan_compiles_total",
+			"Plan compilations performed (single-flight: a thundering herd of one shape compiles once).", ""),
+	}
+}
+
+// size reports the number of registry entries (including in-flight
+// compiles).
+func (r *planRegistry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// lookup returns the compiled plan for a template, compiling it exactly
+// once per key however many requests race on a cold shape. A waiter
+// whose context expires before the compile finishes gets the context
+// error; the compile itself continues and lands in the registry for the
+// next request. Failed compiles are removed so a later request retries
+// (the program may have gained the missing rules in between).
+func (r *planRegistry) lookup(ctx context.Context, template string, opts chainlog.Options) (*chainlog.Prepared, error) {
+	key := planKey{template: template, strategy: opts.Strategy, maxNodes: opts.MaxNodes}
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if ok {
+		r.mu.Unlock()
+		r.hits.Inc()
+		select {
+		case <-e.ready:
+			return e.plan, e.err
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+	if len(r.entries) >= maxRegistryEntries {
+		// In-flight compiles keep their own entry pointers; dropping the
+		// map only forgets finished plans.
+		r.entries = make(map[planKey]*planEntry)
+	}
+	e = &planEntry{ready: make(chan struct{})}
+	r.entries[key] = e
+	r.mu.Unlock()
+
+	r.misses.Inc()
+	r.compiles.Inc()
+	e.plan, e.err = r.db.Prepare(template, opts)
+	if e.err != nil {
+		r.mu.Lock()
+		delete(r.entries, key)
+		r.mu.Unlock()
+	}
+	close(e.ready)
+	return e.plan, e.err
+}

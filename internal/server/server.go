@@ -1,0 +1,294 @@
+// Package server implements chainlogd's HTTP serving layer over a
+// chainlog.DB: a prepared-plan registry with single-flight compilation,
+// JSON query/mutation endpoints, per-request deadlines propagated into
+// the traversal via context cancellation, MaxNodes-based admission
+// control, a bounded in-flight limiter (429 + Retry-After on
+// saturation), and Prometheus-style /metrics exposition.
+//
+// The package contains no evaluation logic — it is a thin, production-
+// shaped shell: every answer comes from the same Prepared/RunBatch/Delta
+// APIs library callers use, so a served query and a direct DB call are
+// interchangeable (the handler tests pin that equivalence).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"chainlog"
+
+	"chainlog/internal/metrics"
+)
+
+// Config tunes a Server. The zero value of every field gets a production
+// default; only DB is required.
+type Config struct {
+	// DB is the database to serve. Required.
+	DB *chainlog.DB
+
+	// MaxInFlight bounds concurrently executing /v1/* requests; excess
+	// requests are rejected with 429 and a Retry-After header instead of
+	// queueing without bound. Default 64.
+	MaxInFlight int
+
+	// DefaultTimeout is the per-request evaluation deadline applied when
+	// the request names none; MaxTimeout clamps request-supplied
+	// deadlines. Defaults 5s and 30s.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// MaxNodes is the admission cap on a query's interpretation-graph
+	// size: request-supplied max_nodes values are clamped to it and
+	// requests naming none inherit it, so no single query can hold a
+	// worker on an unbounded traversal. Default 4M nodes; -1 disables
+	// the cap.
+	MaxNodes int
+
+	// Parallelism is baked into every compiled plan's options
+	// (Options.Parallelism). Default 0 (sequential traversal — the
+	// zero-allocation warm path; request concurrency supplies the
+	// parallelism under load).
+	Parallelism int
+
+	// RetryAfter is the Retry-After hint on 429 responses. Default 1s.
+	RetryAfter time.Duration
+
+	// Logf receives one line per lifecycle event (boot, drain) and per
+	// failed request. Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 4 << 20
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server is the HTTP serving layer. Create with New, mount Handler on an
+// http.Server, and call SetDraining(true) before http.Server.Shutdown so
+// load balancers watching /healthz stop routing new traffic.
+type Server struct {
+	cfg      Config
+	db       *chainlog.DB
+	registry *planRegistry
+	metrics  *metrics.Registry
+	sem      chan struct{}
+	draining atomic.Bool
+
+	inFlight  *metrics.Gauge
+	rejected  *metrics.Counter
+	latency   map[string]*metrics.Histogram
+	requests  func(endpoint, code string) *metrics.Counter
+	mutations *metrics.Counter
+}
+
+// endpoints names every instrumented route; per-endpoint histograms are
+// pre-registered so /metrics exposes the full set from the first scrape.
+var endpoints = []string{"query", "assert", "retract", "delta", "explain", "healthz", "metrics"}
+
+// New builds a Server over the database.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	reg := metrics.NewRegistry()
+	base := chainlog.Options{Parallelism: cfg.Parallelism}
+	s := &Server{
+		cfg:      cfg,
+		db:       cfg.DB,
+		registry: newPlanRegistry(cfg.DB, base, reg),
+		metrics:  reg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		inFlight: reg.Gauge("chainlogd_in_flight_requests", "Requests currently executing.", ""),
+		rejected: reg.Counter("chainlogd_rejected_total", "Requests rejected by the in-flight limiter (HTTP 429).", ""),
+		latency:  make(map[string]*metrics.Histogram),
+		mutations: reg.Counter("chainlogd_fact_mutations_total",
+			"Facts asserted or retracted (net of no-ops) across all mutation endpoints.", ""),
+	}
+	for _, ep := range endpoints {
+		s.latency[ep] = reg.Histogram("chainlogd_request_seconds",
+			"Request latency by endpoint.", metrics.Labels("endpoint", ep), nil)
+	}
+	s.requests = func(endpoint, code string) *metrics.Counter {
+		return reg.Counter("chainlogd_requests_total", "Requests served by endpoint and status code.",
+			metrics.Labels("endpoint", endpoint, "code", code))
+	}
+	// DB-level plan cache (behind one-shot "query" bodies) and registry
+	// size, read at scrape time.
+	reg.GaugeFunc("chainlogd_db_plan_cache_hits", "DB plan cache hits (one-shot query route).", "",
+		func() float64 { return float64(cfg.DB.PlanCacheStats().Hits) })
+	reg.GaugeFunc("chainlogd_db_plan_cache_misses", "DB plan cache misses (one-shot query route).", "",
+		func() float64 { return float64(cfg.DB.PlanCacheStats().Misses) })
+	reg.GaugeFunc("chainlogd_plan_registry_entries", "Prepared plans in the serving registry.", "",
+		func() float64 { return float64(s.registry.size()) })
+	return s, nil
+}
+
+// Metrics exposes the server's metrics registry (for tests and embedded
+// use).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// SetDraining flips the drain flag: /healthz answers 503 so load
+// balancers take the instance out of rotation while in-flight requests
+// finish under http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/query", s.instrument("query", true, s.handleQuery))
+	mux.Handle("POST /v1/assert", s.instrument("assert", true, s.handleAssert))
+	mux.Handle("POST /v1/retract", s.instrument("retract", true, s.handleRetract))
+	mux.Handle("POST /v1/delta", s.instrument("delta", true, s.handleDelta))
+	mux.Handle("GET /v1/explain", s.instrument("explain", true, s.handleExplain))
+	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	return mux
+}
+
+// statusRecorder captures the status code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the limiter (when limited), the
+// in-flight gauge, and per-endpoint latency/request-count metrics.
+func (s *Server) instrument(endpoint string, limited bool, h http.HandlerFunc) http.Handler {
+	hist := s.latency[endpoint]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if limited {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.rejected.Inc()
+				s.requests(endpoint, "429").Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds())))
+				writeError(w, http.StatusTooManyRequests, "server at capacity")
+				return
+			}
+		}
+		s.inFlight.Inc()
+		defer s.inFlight.Dec()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.requests(endpoint, strconv.Itoa(rec.status)).Inc()
+	})
+}
+
+// requestContext derives the evaluation context: the request-supplied
+// timeout_ms clamped to MaxTimeout, DefaultTimeout when absent. The
+// returned context also carries the client-disconnect cancellation of
+// r.Context.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// admitMaxNodes resolves a request's max_nodes against the server cap:
+// absent inherits the cap, larger clamps to it. The result lands in
+// Options.MaxNodes, so an admitted query cannot build an interpretation
+// graph beyond what the operator allowed.
+func (s *Server) admitMaxNodes(requested int) int {
+	limit := s.cfg.MaxNodes
+	if limit < 0 {
+		limit = 0 // unlimited
+	}
+	switch {
+	case requested <= 0:
+		return limit
+	case limit > 0 && requested > limit:
+		return limit
+	default:
+		return requested
+	}
+}
+
+// httpStatusFor maps an evaluation error to a response status:
+// deadline/cancellation to 504 (the request's deadline fired) or 499
+// (the client went away), the MaxNodes admission bound to 422, and
+// everything else — parse errors, unknown strategies, bad templates —
+// to 400 (the request was at fault, not the server).
+func httpStatusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, chainlog.ErrMaxNodes):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// ListenAndServe runs the server at addr until ctx is canceled, then
+// drains: /healthz flips to 503 and http.Server.Shutdown waits up to
+// drainTimeout for in-flight requests. It returns nil on a clean drain —
+// the SIGTERM path cmd/chainlogd and the e2e harness assert on.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	hs := &http.Server{
+		Addr:    addr,
+		Handler: s.Handler(),
+		// Slow clients must not hold connections invisible to the
+		// in-flight limiter (which only counts requests that reached a
+		// handler): bound header reads and idle keep-alives.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	s.cfg.Logf("chainlogd: serving on %s (max-inflight=%d, default-timeout=%s, max-nodes=%d)",
+		addr, s.cfg.MaxInFlight, s.cfg.DefaultTimeout, s.cfg.MaxNodes)
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected listener death
+	case <-ctx.Done():
+	}
+	s.SetDraining(true)
+	s.cfg.Logf("chainlogd: draining (waiting up to %s for in-flight requests)", drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	s.cfg.Logf("chainlogd: drained cleanly")
+	return nil
+}

@@ -1,0 +1,441 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chainlog"
+)
+
+const familyProgram = `
+	ancestor(X, Y) :- parent(X, Y).
+	ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+	parent(bart, homer).
+	parent(lisa, homer).
+	parent(homer, abe).
+	parent(abe, orville).
+`
+
+// newTestServer boots a Server over a fresh DB loaded with program,
+// returning the server, its httptest listener and the DB.
+func newTestServer(t *testing.T, program string, cfg Config) (*Server, *httptest.Server, *chainlog.DB) {
+	t.Helper()
+	db := chainlog.NewDB()
+	if program != "" {
+		if err := db.LoadProgram(program); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.DB = db
+	cfg.Logf = t.Logf
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, db
+}
+
+// postJSON posts a JSON body and returns status plus decoded response
+// body bytes.
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func queryRows(t *testing.T, url string, req QueryRequest) (int, *QueryResponse) {
+	t.Helper()
+	status, body := postJSON(t, url+"/v1/query", req)
+	var qr QueryResponse
+	if status == http.StatusOK {
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatalf("bad response %s: %v", body, err)
+		}
+	}
+	return status, &qr
+}
+
+func TestQuerySingleTemplate(t *testing.T) {
+	_, ts, _ := newTestServer(t, familyProgram, Config{})
+	status, qr := queryRows(t, ts.URL, QueryRequest{Template: "ancestor(?, Y)", Args: []string{"bart"}, Stats: true})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	want := [][]string{{"abe"}, {"homer"}, {"orville"}}
+	if !reflect.DeepEqual(qr.Result.Rows, want) {
+		t.Fatalf("rows %v, want %v", qr.Result.Rows, want)
+	}
+	if qr.Result.Stats == nil || qr.Result.Stats.Strategy != "chain" {
+		t.Fatalf("stats missing or wrong: %+v", qr.Result.Stats)
+	}
+}
+
+func TestQueryOneShotLiteral(t *testing.T) {
+	_, ts, db := newTestServer(t, familyProgram, Config{})
+	status, qr := queryRows(t, ts.URL, QueryRequest{Query: "ancestor(lisa, Y)"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	direct, err := db.Query("ancestor(lisa, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(qr.Result.Rows, direct.Rows) {
+		t.Fatalf("served %v, direct %v", qr.Result.Rows, direct.Rows)
+	}
+}
+
+func TestQueryBooleanResult(t *testing.T) {
+	_, ts, _ := newTestServer(t, familyProgram, Config{})
+	status, qr := queryRows(t, ts.URL, QueryRequest{Query: "ancestor(bart, abe)"})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if !qr.Result.True || len(qr.Result.Rows) != 0 {
+		t.Fatalf("want true with no rows, got %+v", qr.Result)
+	}
+}
+
+func TestQueryBatch(t *testing.T) {
+	_, ts, db := newTestServer(t, familyProgram, Config{})
+	status, qr := queryRows(t, ts.URL, QueryRequest{
+		Template: "ancestor(?, Y)",
+		Batch:    [][]string{{"bart"}, {"homer"}, {"bart"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(qr.Results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(qr.Results))
+	}
+	for i, bound := range []string{"bart", "homer", "bart"} {
+		direct, err := db.Query(fmt.Sprintf("ancestor(%s, Y)", bound))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(qr.Results[i].Rows, direct.Rows) {
+			t.Fatalf("batch[%d]: served %v, direct %v", i, qr.Results[i].Rows, direct.Rows)
+		}
+	}
+}
+
+func TestQueryMalformedBodies(t *testing.T) {
+	_, ts, _ := newTestServer(t, familyProgram, Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `{"template": `},
+		{"unknown field", `{"template": "ancestor(?, Y)", "argz": ["bart"]}`},
+		{"trailing garbage", `{"query": "ancestor(bart, Y)"} extra`},
+		{"neither query nor template", `{}`},
+		{"both query and template", `{"query": "ancestor(bart, Y)", "template": "ancestor(?, Y)"}`},
+		{"args with query", `{"query": "ancestor(bart, Y)", "args": ["x"]}`},
+		{"args and batch", `{"template": "ancestor(?, Y)", "args": ["bart"], "batch": [["homer"]]}`},
+		{"bad strategy", `{"template": "ancestor(?, Y)", "args": ["bart"], "strategy": "warp"}`},
+		{"unparseable query", `{"query": "ancestor(bart"}`},
+		{"wrong arg count", `{"template": "ancestor(?, Y)", "args": ["bart", "homer"]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestMutationQueryInterleaving drives a mutation/query schedule through
+// HTTP and mirrors every step on a second DB evaluated directly; the
+// served rows must match direct evaluation after every mutation.
+func TestMutationQueryInterleaving(t *testing.T) {
+	rules := `
+		ancestor(X, Y) :- parent(X, Y).
+		ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+	`
+	_, ts, _ := newTestServer(t, rules, Config{})
+	mirror := chainlog.NewDB()
+	if err := mirror.LoadProgram(rules); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(step string) {
+		t.Helper()
+		for _, q := range []string{"ancestor(bart, Y)", "ancestor(X, abe)", "ancestor(bart, abe)"} {
+			status, qr := queryRows(t, ts.URL, QueryRequest{Query: q})
+			if status != http.StatusOK {
+				t.Fatalf("%s: %s: status %d", step, q, status)
+			}
+			direct, err := mirror.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct.Rows == nil {
+				// Boolean queries have no rows; the wire form normalizes
+				// nil to an empty array.
+				direct.Rows = [][]string{}
+			}
+			if !reflect.DeepEqual(qr.Result.Rows, direct.Rows) || qr.Result.True != direct.True {
+				t.Fatalf("%s: %s: served %v/%v, direct %v/%v",
+					step, q, qr.Result.Rows, qr.Result.True, direct.Rows, direct.True)
+			}
+		}
+	}
+
+	// Assert.
+	facts := []FactJSON{{Pred: "parent", Args: []string{"bart", "homer"}}, {Pred: "parent", Args: []string{"homer", "abe"}}}
+	status, body := postJSON(t, ts.URL+"/v1/assert", MutationRequest{Facts: facts})
+	if status != http.StatusOK {
+		t.Fatalf("assert: status %d: %s", status, body)
+	}
+	var mr MutationResponse
+	if err := json.Unmarshal(body, &mr); err != nil || mr.Asserted != 2 {
+		t.Fatalf("assert: %s (err %v)", body, err)
+	}
+	mirror.Assert("parent", "bart", "homer")
+	mirror.Assert("parent", "homer", "abe")
+	check("after assert")
+
+	// Retract.
+	status, body = postJSON(t, ts.URL+"/v1/retract", MutationRequest{Facts: []FactJSON{{Pred: "parent", Args: []string{"homer", "abe"}}}})
+	if status != http.StatusOK {
+		t.Fatalf("retract: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &mr); err != nil || mr.Retracted != 1 {
+		t.Fatalf("retract: %s (err %v)", body, err)
+	}
+	mirror.Retract("parent", "homer", "abe")
+	check("after retract")
+
+	// Ordered delta: re-assert, add a branch, retract the branch — nets
+	// to just the re-assert.
+	ops := []DeltaOp{
+		{Op: "assert", Pred: "parent", Args: []string{"homer", "abe"}},
+		{Op: "assert", Pred: "parent", Args: []string{"abe", "zeke"}},
+		{Op: "retract", Pred: "parent", Args: []string{"abe", "zeke"}},
+	}
+	status, body = postJSON(t, ts.URL+"/v1/delta", DeltaRequest{Ops: ops})
+	if status != http.StatusOK {
+		t.Fatalf("delta: status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &mr); err != nil || mr.Asserted != 2 || mr.Retracted != 1 {
+		t.Fatalf("delta: %s (err %v)", body, err)
+	}
+	d := &chainlog.Delta{}
+	d.Assert("parent", "homer", "abe").Assert("parent", "abe", "zeke").Retract("parent", "abe", "zeke")
+	mirror.Apply(d)
+	check("after delta")
+}
+
+// TestPlanCacheSurvivesFactChurn pins the serving acceptance criterion:
+// template queries across assert/retract traffic reuse one compiled
+// plan — compiles stays at 1 while hits grow — and /metrics reports it.
+func TestPlanCacheSurvivesFactChurn(t *testing.T) {
+	s, ts, _ := newTestServer(t, familyProgram, Config{})
+	run := func(want [][]string) {
+		t.Helper()
+		status, qr := queryRows(t, ts.URL, QueryRequest{Template: "ancestor(?, Y)", Args: []string{"bart"}})
+		if status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+		if !reflect.DeepEqual(qr.Result.Rows, want) {
+			t.Fatalf("rows %v, want %v", qr.Result.Rows, want)
+		}
+	}
+	run([][]string{{"abe"}, {"homer"}, {"orville"}})
+	postJSON(t, ts.URL+"/v1/assert", MutationRequest{Facts: []FactJSON{{Pred: "parent", Args: []string{"orville", "eve"}}}})
+	run([][]string{{"abe"}, {"eve"}, {"homer"}, {"orville"}})
+	postJSON(t, ts.URL+"/v1/retract", MutationRequest{Facts: []FactJSON{{Pred: "parent", Args: []string{"orville", "eve"}}}})
+	run([][]string{{"abe"}, {"homer"}, {"orville"}})
+
+	if got := s.registry.compiles.Value(); got != 1 {
+		t.Fatalf("plan compiles across fact churn = %d, want 1", got)
+	}
+	if got := s.registry.hits.Value(); got < 2 {
+		t.Fatalf("plan cache hits = %d, want >= 2", got)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"chainlogd_plan_compiles_total 1",
+		"chainlogd_plan_cache_hits_total 2",
+		`chainlogd_requests_total{endpoint="query",code="200"}`,
+		"chainlogd_request_seconds_bucket",
+		"chainlogd_in_flight_requests",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSingleFlightColdPrepare pins the thundering-herd behavior: many
+// concurrent requests for one cold template must compile exactly once.
+func TestSingleFlightColdPrepare(t *testing.T) {
+	s, ts, _ := newTestServer(t, familyProgram, Config{MaxInFlight: 64})
+	const N = 32
+	var wg sync.WaitGroup
+	errs := make([]error, N)
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _ := postJSON(t, ts.URL+"/v1/query", QueryRequest{Template: "ancestor(?, Y)", Args: []string{"bart"}})
+			if status != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.registry.compiles.Value(); got != 1 {
+		t.Fatalf("thundering herd compiled %d times, want 1", got)
+	}
+}
+
+// TestLimiter429 fills the in-flight semaphore directly and verifies the
+// next request is turned away with 429 + Retry-After, and that draining
+// the slot restores service.
+func TestLimiter429(t *testing.T) {
+	s, ts, _ := newTestServer(t, familyProgram, Config{MaxInFlight: 2, RetryAfter: 7 * time.Second})
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"query": "ancestor(bart, Y)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want \"7\"", got)
+	}
+	if s.rejected.Value() == 0 {
+		t.Fatal("rejection counter did not move")
+	}
+	<-s.sem
+	<-s.sem
+	status, _ := queryRows(t, ts.URL, QueryRequest{Query: "ancestor(bart, Y)"})
+	if status != http.StatusOK {
+		t.Fatalf("post-drain status %d, want 200", status)
+	}
+}
+
+// TestMaxNodesAdmission verifies the admission cap turns an oversized
+// traversal into a 422 instead of letting it run.
+func TestMaxNodesAdmission(t *testing.T) {
+	_, ts, _ := newTestServer(t, familyProgram, Config{MaxNodes: 2})
+	status, body := postJSON(t, ts.URL+"/v1/query", QueryRequest{Template: "ancestor(?, Y)", Args: []string{"bart"}})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", status, body)
+	}
+	// A request asking for more than the cap is clamped, not honored.
+	status, body = postJSON(t, ts.URL+"/v1/query", QueryRequest{Template: "ancestor(?, Y)", Args: []string{"bart"}, MaxNodes: 1 << 30})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("clamped status %d, want 422: %s", status, body)
+	}
+}
+
+func TestHealthzAndDraining(t *testing.T) {
+	s, ts, _ := newTestServer(t, familyProgram, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d, want 200", resp.StatusCode)
+	}
+	s.SetDraining(true)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("draining healthz %d %s, want 503 draining", resp.StatusCode, body)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	_, ts, _ := newTestServer(t, familyProgram, Config{})
+	resp, err := http.Get(ts.URL + "/v1/explain?query=" + "ancestor(bart,%20Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "equation system") {
+		t.Fatalf("explain %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestEmptyBatchRejected pins the empty-but-present batch body to a 400
+// instead of a silent empty success.
+func TestEmptyBatchRejected(t *testing.T) {
+	_, ts, _ := newTestServer(t, familyProgram, Config{})
+	status, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"template": "ancestor(?, Y)", "args": []string{"bart"}, "batch": [][]string{},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400: %s", status, body)
+	}
+}
+
+// TestRegistryBounded pins the registry memory bound: a client cycling
+// max_nodes values (each a distinct plan key) cannot grow the registry
+// past maxRegistryEntries.
+func TestRegistryBounded(t *testing.T) {
+	s, ts, _ := newTestServer(t, familyProgram, Config{MaxNodes: -1})
+	for i := 0; i < maxRegistryEntries+50; i++ {
+		status, body := postJSON(t, ts.URL+"/v1/query", QueryRequest{
+			Template: "ancestor(?, Y)", Args: []string{"bart"}, MaxNodes: i + 1000,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, body)
+		}
+	}
+	if got := s.registry.size(); got > maxRegistryEntries {
+		t.Fatalf("registry grew to %d entries, bound is %d", got, maxRegistryEntries)
+	}
+}

@@ -1,6 +1,7 @@
 package chainlog
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -58,9 +59,19 @@ type Prepared struct {
 
 // plan is one compiled evaluation route. run executes it for a parameter
 // vector (one value per '?' hole, in order); the caller holds db.mu for
-// reading.
+// reading. ctx may be nil (no deadline); chain-strategy plans poll it
+// mid-traversal, bottom-up and magic routes poll it between rule
+// evaluations of their fixpoint, and the linear/hunt specializations
+// check it only between phases.
 type plan interface {
-	run(db *DB, args []symtab.Sym) (*Answer, error)
+	run(ctx context.Context, db *DB, args []symtab.Sym) (*Answer, error)
+}
+
+// ctxErr polls a possibly-nil context, returning its cause once it has
+// been canceled; chaineval.ContextErr carries the shared wall-clock
+// deadline handling.
+func ctxErr(ctx context.Context) error {
+	return chaineval.ContextErr(ctx)
 }
 
 // factRefresher is implemented by plans that can absorb a fact-only
@@ -166,16 +177,30 @@ func (p *Prepared) NumParams() int { return p.nparams }
 // Run executes the prepared plan with one constant name per '?'
 // placeholder. It is safe to call from many goroutines concurrently.
 func (p *Prepared) Run(args ...string) (*Answer, error) {
+	return p.RunCtx(nil, args...)
+}
+
+// RunCtx is Run under a context: chain-strategy plans poll the context
+// during the traversal (at level boundaries and every few thousand node
+// visits), so a deadline or cancellation aborts evaluation mid-query
+// with an error wrapping context.Cause(ctx) — the serving layer's
+// request-deadline hook. A nil ctx behaves like Run.
+func (p *Prepared) RunCtx(ctx context.Context, args ...string) (*Answer, error) {
 	syms := make([]symtab.Sym, len(args))
 	for i, a := range args {
 		syms[i] = p.db.st.Intern(a)
 	}
-	return p.RunSyms(syms...)
+	return p.RunSymsCtx(ctx, syms...)
 }
 
 // RunSyms is Run for pre-interned symbols, avoiding the name lookups on
 // hot paths.
 func (p *Prepared) RunSyms(args ...symtab.Sym) (*Answer, error) {
+	return p.RunSymsCtx(nil, args...)
+}
+
+// RunSymsCtx is RunCtx for pre-interned symbols.
+func (p *Prepared) RunSymsCtx(ctx context.Context, args ...symtab.Sym) (*Answer, error) {
 	if len(args) != p.nparams {
 		return nil, fmt.Errorf("chainlog: prepared query %s expects %d parameters, got %d", p, p.nparams, len(args))
 	}
@@ -186,16 +211,23 @@ func (p *Prepared) RunSyms(args ...symtab.Sym) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.runMaterialized(pl, args)
+	return p.runMaterialized(ctx, pl, args)
 }
 
 // runMaterialized executes a plan and wraps the result in a full Answer
 // with retrieval statistics. The caller holds db.mu for reading.
-func (p *Prepared) runMaterialized(pl plan, args []symtab.Sym) (*Answer, error) {
+func (p *Prepared) runMaterialized(ctx context.Context, pl plan, args []symtab.Sym) (*Answer, error) {
 	db := p.db
 	before := db.store.CountersSnapshot()
-	ans, err := pl.run(db, args)
+	ans, err := pl.run(ctx, db, args)
 	if err != nil {
+		return nil, err
+	}
+	// The traversal polls the context, but a run that finishes just under
+	// the wire would still pay the row rendering and sort below — on a
+	// large answer set that costs more than the traversal. A request
+	// whose deadline has passed gets its error now instead.
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	after := db.store.CountersSnapshot()
@@ -208,6 +240,12 @@ func (p *Prepared) runMaterialized(pl plan, args []symtab.Sym) (*Answer, error) 
 		ans.Rows = nil
 	}
 	sortRows(ans.Rows)
+	// Final deadline check: the answer is only handed out if it was fully
+	// produced — traversal, rendering and sort — within the deadline, so
+	// "returned 200" and "met the deadline" mean the same thing.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	return ans, nil
 }
 
@@ -254,7 +292,7 @@ func (p *Prepared) RunSymsFunc(yield func(row []symtab.Sym), args ...symtab.Sym)
 	// call above keeps its parameters on the caller's stack.
 	fb := make([]symtab.Sym, len(args))
 	copy(fb, args)
-	ans, err := p.runMaterialized(pl, fb)
+	ans, err := p.runMaterialized(nil, pl, fb)
 	if err != nil {
 		return err
 	}
@@ -452,7 +490,10 @@ func bindOne(t ast.Term, args []symtab.Sym) symtab.Sym {
 // basePlan answers extensional-predicate queries by index lookup.
 type basePlan struct{ tmpl ast.Query }
 
-func (pl *basePlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+func (pl *basePlan) run(ctx context.Context, db *DB, args []symtab.Sym) (*Answer, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	return db.baseQuery(substituteArgs(pl.tmpl, args))
 }
 
@@ -475,22 +516,22 @@ type directPlan struct {
 // directly; the compiled automata themselves depend only on the rules.
 func (pl *directPlan) refreshFacts(db *DB) { pl.eng.RefreshRelations() }
 
-func (pl *directPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+func (pl *directPlan) run(ctx context.Context, db *DB, args []symtab.Sym) (*Answer, error) {
 	switch pl.mode {
 	case "bf":
-		res, err := pl.eng.Query(pl.pred, bindOne(pl.bound, args))
+		res, err := pl.eng.QueryCtx(ctx, pl.pred, bindOne(pl.bound, args))
 		if err != nil {
 			return nil, err
 		}
 		return db.symsAnswer(res.Answers, chainStats(res)), nil
 	case "fb":
-		res, err := pl.eng.QueryInverse(pl.pred, bindOne(pl.bound, args))
+		res, err := pl.eng.QueryInverseCtx(ctx, pl.pred, bindOne(pl.bound, args))
 		if err != nil {
 			return nil, err
 		}
 		return db.symsAnswer(res.Answers, chainStats(res)), nil
 	case "ff":
-		pairs, res, err := pl.eng.QueryAll(pl.pred, db.activeDomainLocked())
+		pairs, res, err := pl.eng.QueryAllCtx(ctx, pl.pred, db.activeDomainLocked())
 		if err != nil {
 			return nil, err
 		}
@@ -595,12 +636,12 @@ func (pl *section4Plan) runStream(db *DB, args []symtab.Sym, yield func([]symtab
 	return true, err
 }
 
-func (pl *section4Plan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+func (pl *section4Plan) run(ctx context.Context, db *DB, args []symtab.Sym) (*Answer, error) {
 	start, err := pl.bindStart(args)
 	if err != nil {
 		return nil, err
 	}
-	res, err := pl.eng.Query(pl.tr.QueryPred, start)
+	res, err := pl.eng.QueryCtx(ctx, pl.tr.QueryPred, start)
 	if err != nil {
 		return nil, err
 	}
@@ -616,12 +657,15 @@ type chainFallbackPlan struct{ tmpl ast.Query }
 // refreshFacts is a no-op: the rewriting runs against the live store.
 func (pl *chainFallbackPlan) refreshFacts(db *DB) {}
 
-func (pl *chainFallbackPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+func (pl *chainFallbackPlan) run(ctx context.Context, db *DB, args []symtab.Sym) (*Answer, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	q := substituteArgs(pl.tmpl, args)
-	rows, stats, err := magic.Evaluate(db.prog, q, db.store)
+	rows, stats, err := magic.EvaluateCtx(ctx, db.prog, q, db.store)
 	if err != nil {
 		// Last resort: the completely general bottom-up method.
-		return (&bottomUpPlan{tmpl: pl.tmpl}).run(db, args)
+		return (&bottomUpPlan{tmpl: pl.tmpl}).run(ctx, db, args)
 	}
 	return db.rowsAnswer(rows, Stats{
 		Iterations: stats.Iterations,
@@ -642,12 +686,15 @@ type bottomUpPlan struct {
 // refreshFacts is a no-op: the fixpoint is recomputed per run.
 func (pl *bottomUpPlan) refreshFacts(db *DB) {}
 
-func (pl *bottomUpPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
-	run := bottomup.Seminaive
-	if pl.naive {
-		run = bottomup.Naive
+func (pl *bottomUpPlan) run(ctx context.Context, db *DB, args []symtab.Sym) (*Answer, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
-	store, stats, err := run(db.prog, db.store)
+	run := bottomup.SeminaiveCtx
+	if pl.naive {
+		run = bottomup.NaiveCtx
+	}
+	store, stats, err := run(ctx, db.prog, db.store)
 	if err != nil {
 		return nil, err
 	}
@@ -668,8 +715,11 @@ type magicPlan struct{ tmpl ast.Query }
 // refreshFacts is a no-op: the rewriting runs against the live store.
 func (pl *magicPlan) refreshFacts(db *DB) {}
 
-func (pl *magicPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
-	rows, stats, err := magic.Evaluate(db.prog, substituteArgs(pl.tmpl, args), db.store)
+func (pl *magicPlan) run(ctx context.Context, db *DB, args []symtab.Sym) (*Answer, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	rows, stats, err := magic.EvaluateCtx(ctx, db.prog, substituteArgs(pl.tmpl, args), db.store)
 	if err != nil {
 		return nil, err
 	}
@@ -694,7 +744,10 @@ type linearPlan struct {
 // rules, and each run evaluates it against the live store.
 func (pl *linearPlan) refreshFacts(db *DB) {}
 
-func (pl *linearPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+func (pl *linearPlan) run(ctx context.Context, db *DB, args []symtab.Sym) (*Answer, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	src := chaineval.StoreSource{Store: db.store}
 	a := bindOne(pl.bound, args)
 	var answers []symtab.Sym
@@ -725,7 +778,10 @@ type huntPlan struct {
 	g     *hunt.Graph
 }
 
-func (pl *huntPlan) run(db *DB, args []symtab.Sym) (*Answer, error) {
+func (pl *huntPlan) run(ctx context.Context, db *DB, args []symtab.Sym) (*Answer, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	answers, visited := pl.g.Query(bindOne(pl.bound, args))
 	return db.symsAnswer(answers, Stats{
 		Iterations: 1,

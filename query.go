@@ -1,6 +1,7 @@
 package chainlog
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"slices"
@@ -12,6 +13,12 @@ import (
 	"chainlog/internal/parser"
 	"chainlog/internal/symtab"
 )
+
+// ErrMaxNodes is the sentinel wrapped by evaluation errors caused by the
+// Options.MaxNodes resource bound, so serving layers can distinguish an
+// admission-control rejection (the query outgrew its node budget) from a
+// malformed query. Match with errors.Is.
+var ErrMaxNodes = chaineval.ErrMaxNodes
 
 // Strategy selects the evaluation method for a query.
 type Strategy int
@@ -198,13 +205,25 @@ func (db *DB) Query(query string) (*Answer, error) {
 	return db.QueryOpts(query, Options{})
 }
 
+// QueryCtx is Query under a context: evaluation polls the context
+// mid-traversal (see Prepared.RunCtx), so a deadline aborts a runaway
+// query instead of running it to completion.
+func (db *DB) QueryCtx(ctx context.Context, query string) (*Answer, error) {
+	return db.QueryOptsCtx(ctx, query, Options{})
+}
+
 // QueryOpts parses and evaluates a query with explicit options.
 func (db *DB) QueryOpts(query string, opts Options) (*Answer, error) {
+	return db.QueryOptsCtx(nil, query, opts)
+}
+
+// QueryOptsCtx is QueryOpts under a context; see QueryCtx.
+func (db *DB) QueryOptsCtx(ctx context.Context, query string, opts Options) (*Answer, error) {
 	q, err := parser.ParseQuery(query, db.st)
 	if err != nil {
 		return nil, err
 	}
-	return db.Evaluate(q, opts)
+	return db.EvaluateCtx(ctx, q, opts)
 }
 
 // Evaluate runs an already parsed query through the plan cache: the
@@ -212,6 +231,11 @@ func (db *DB) QueryOpts(query string, opts Options) (*Answer, error) {
 // parameter vector, the template's compiled plan is fetched or built, and
 // the plan runs with the parameters.
 func (db *DB) Evaluate(q ast.Query, opts Options) (*Answer, error) {
+	return db.EvaluateCtx(nil, q, opts)
+}
+
+// EvaluateCtx is Evaluate under a context; see QueryCtx.
+func (db *DB) EvaluateCtx(ctx context.Context, q ast.Query, opts Options) (*Answer, error) {
 	if q.IsBuiltin() {
 		return nil, fmt.Errorf("chainlog: query must be an ordinary literal")
 	}
@@ -229,7 +253,7 @@ func (db *DB) Evaluate(q ast.Query, opts Options) (*Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	ans, err := p.RunSyms(args...)
+	ans, err := p.RunSymsCtx(ctx, args...)
 	if err != nil {
 		return nil, err
 	}
