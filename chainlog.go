@@ -288,12 +288,46 @@ type ApplyResult struct {
 // many facts changed. A Delta that nets to no change leaves the epochs
 // untouched.
 func (db *DB) Apply(d *Delta) ApplyResult {
-	var res ApplyResult
 	if d == nil || len(d.ops) == 0 {
-		return res
+		return ApplyResult{}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	res := db.applyOpsLocked(d)
+	if res.Asserted > 0 || res.Retracted > 0 {
+		db.bumpFactEpoch()
+	}
+	return res
+}
+
+// ApplyAt executes a Delta and forces the fact epoch to epoch — the
+// replication replay entry point. A Delta already reflected in the
+// database (epoch at or below the current fact epoch) is skipped
+// entirely and applied=false is returned, which makes replaying a
+// write-ahead log idempotent: a record may be delivered again after a
+// crash, a reconnect or an overlapping snapshot without double-applying
+// or moving the epoch twice. Unlike Apply, a non-skipped Delta always
+// sets the epoch even when it nets to no change, because the epoch is
+// the log position, not a change counter, and the follower must land
+// exactly where the leader was.
+func (db *DB) ApplyAt(d *Delta, epoch uint64) (ApplyResult, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if epoch <= db.factEpoch {
+		return ApplyResult{}, false
+	}
+	var res ApplyResult
+	if d != nil {
+		res = db.applyOpsLocked(d)
+	}
+	db.factEpoch = epoch
+	return res, true
+}
+
+// applyOpsLocked executes a Delta's ops in order; the caller must hold
+// db.mu exclusively and is responsible for epoch movement.
+func (db *DB) applyOpsLocked(d *Delta) ApplyResult {
+	var res ApplyResult
 	for _, op := range d.ops {
 		if op.retract {
 			syms := make([]symtab.Sym, len(op.args))
@@ -318,9 +352,6 @@ func (db *DB) Apply(d *Delta) ApplyResult {
 		if db.store.Insert(op.pred, syms...) {
 			res.Asserted++
 		}
-	}
-	if res.Asserted > 0 || res.Retracted > 0 {
-		db.bumpFactEpoch()
 	}
 	return res
 }
@@ -390,6 +421,23 @@ func (db *DB) Epochs() (rule, fact uint64) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.ruleEpoch, db.factEpoch
+}
+
+// FactEpoch returns the fact epoch alone. In a replicated deployment it
+// is the log sequence number: the primary stamps it on every applied
+// Delta, replicas converge to it, and chainlogd exposes it both as the
+// X-Chainlog-Epoch response header and a /metrics gauge.
+func (db *DB) FactEpoch() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.factEpoch
+}
+
+// RuleEpoch returns the rule epoch alone.
+func (db *DB) RuleEpoch() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ruleEpoch
 }
 
 // Program exposes the parsed intensional database. The returned program

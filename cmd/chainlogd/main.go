@@ -7,7 +7,9 @@
 //
 //	chainlogd -program prog.dl [-facts facts.dl] [-addr :8080] \
 //	          [-max-inflight 64] [-default-timeout 5s] [-max-timeout 30s] \
-//	          [-max-nodes 4194304] [-parallelism 0] [-drain-timeout 15s]
+//	          [-max-nodes 4194304] [-parallelism 0] [-drain-timeout 15s] \
+//	          [-wal-dir DIR] [-fsync always|rotate] [-segment-bytes N] \
+//	          [-snapshot-bytes N] [-role primary|replica] [-primary URL]
 //
 // Endpoints:
 //
@@ -19,8 +21,20 @@
 //	POST /v1/delta    {"ops": [{"op":"assert","pred":"e","args":["a","b"]},
 //	                           {"op":"retract","pred":"e","args":["b","c"]}]}
 //	GET  /v1/explain?query=tc(a,%20Y)
+//	GET  /v1/status   role, epochs, WAL and replication state (JSON)
+//	GET  /v1/snapshot fact snapshot text + X-Chainlog-Epoch
+//	GET  /v1/replicate?from=E  NDJSON delta feed for replicas
+//	POST /v1/promote  replica -> primary (manual failover)
 //	GET  /healthz     200 ok / 503 draining
 //	GET  /metrics     Prometheus text exposition
+//
+// With -wal-dir the daemon is durable: every applied mutation is
+// appended to a segmented, CRC-framed write-ahead log before the
+// response goes out, snapshots truncate the log, and boot recovers the
+// fact store from the newest snapshot plus the log tail (tolerating a
+// torn final record from a crash). With -role replica -primary URL the
+// daemon rejects writes with 403 + an X-Chainlog-Primary redirect and
+// keeps itself converged by tailing the primary's feed.
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, flips
 // /healthz to 503, waits up to -drain-timeout for in-flight requests,
@@ -39,6 +53,7 @@ import (
 
 	"chainlog"
 	"chainlog/internal/server"
+	"chainlog/internal/wal"
 )
 
 func main() {
@@ -61,6 +76,12 @@ func run(args []string) error {
 	maxNodes := fs.Int("max-nodes", 4<<20, "admission cap on a query's interpretation-graph nodes (-1 = unlimited)")
 	parallelism := fs.Int("parallelism", 0, "traversal worker pool per query (0 = sequential; -1 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long SIGTERM waits for in-flight requests")
+	walDir := fs.String("wal-dir", "", "write-ahead-log directory; empty disables durability and replication")
+	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy: \"always\" (per append) or \"rotate\" (segment boundaries only)")
+	segmentBytes := fs.Int64("segment-bytes", 64<<20, "WAL segment rotation threshold")
+	snapshotBytes := fs.Int64("snapshot-bytes", 8<<20, "WAL bytes between automatic snapshots (negative disables)")
+	role := fs.String("role", "primary", "\"primary\" (accepts writes) or \"replica\" (tails -primary, read-only)")
+	primaryURL := fs.String("primary", "", "primary base URL (required with -role replica)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +108,22 @@ func run(args []string) error {
 	}
 	log.Printf("chainlogd: loaded %s (classification %+v)", *programPath, db.Classify())
 
+	var walLog *wal.Log
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		walLog, err = wal.Open(wal.Options{Dir: *walDir, SegmentBytes: *segmentBytes, Sync: policy})
+		if err != nil {
+			return fmt.Errorf("opening WAL %s: %w", *walDir, err)
+		}
+		defer walLog.Close()
+		if err := recoverWAL(db, walLog); err != nil {
+			return fmt.Errorf("recovering WAL %s: %w", *walDir, err)
+		}
+	}
+
 	s, err := server.New(server.Config{
 		DB:             db,
 		MaxInFlight:    *maxInFlight,
@@ -94,6 +131,10 @@ func run(args []string) error {
 		MaxTimeout:     *maxTimeout,
 		MaxNodes:       *maxNodes,
 		Parallelism:    *parallelism,
+		WAL:            walLog,
+		Role:           *role,
+		PrimaryURL:     *primaryURL,
+		SnapshotBytes:  *snapshotBytes,
 	})
 	if err != nil {
 		return err
@@ -102,4 +143,37 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	return s.ListenAndServe(ctx, *addr, *drainTimeout)
+}
+
+// recoverWAL rebuilds the fact store from the WAL: restore the newest
+// snapshot (replacing the boot-loaded facts — the snapshot captured the
+// full store, boot facts included), then replay the log tail through
+// the same idempotent ApplyAt path replicas use.
+func recoverWAL(db *chainlog.DB, l *wal.Log) error {
+	if path, epoch, ok := l.Snapshot(); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = db.RestoreFacts(f, epoch)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("restoring snapshot %s: %w", path, err)
+		}
+		log.Printf("chainlogd: restored snapshot %s (epoch %d)", path, epoch)
+	}
+	replayed := 0
+	err := l.ReadFrom(db.FactEpoch(), func(rec wal.Record) error {
+		if _, ok := db.ApplyAt(server.DeltaOfOps(rec.Ops), rec.Epoch); ok {
+			replayed++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if replayed > 0 || l.LastEpoch() > 0 {
+		log.Printf("chainlogd: WAL replayed %d record(s); fact epoch %d", replayed, db.FactEpoch())
+	}
+	return nil
 }

@@ -13,6 +13,14 @@
 // fires no earlier than start + k/qps, claimed by a bounded worker pool,
 // so a slow server shifts latency into the measurements instead of
 // spawning unbounded goroutines.
+//
+// Against a replicated cluster, point -addr at a replica: mutations that
+// come back 403 with an X-Chainlog-Primary header are re-issued at the
+// primary (counted as redirects), and -min-epoch turns on the
+// read-your-writes check — each worker remembers the epoch of its last
+// successful mutation, sends it as X-Chainlog-Min-Epoch on queries, and
+// counts any response whose X-Chainlog-Epoch is below it as a stale
+// read. Stale reads fail the run under -fail-on-error.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -39,6 +48,8 @@ type summary struct {
 	OK              int            `json:"ok"`
 	Status          map[string]int `json:"status"`
 	TransportErrors int            `json:"transport_errors"`
+	StaleReads      int            `json:"stale_reads"`
+	Redirects       int            `json:"redirects"`
 	AchievedQPS     float64        `json:"achieved_qps"`
 	LatencyMS       latencies      `json:"latency_ms"`
 }
@@ -58,6 +69,9 @@ type workerState struct {
 	transport int
 	queries   int
 	mutations int
+	lastEpoch uint64 // epoch of this worker's last successful mutation
+	stale     int
+	redirects int
 }
 
 func main() {
@@ -80,6 +94,7 @@ func run(argv []string) int {
 	out := fs.String("out", "", "write the JSON summary to this file (default stdout)")
 	failOnError := fs.Bool("fail-on-error", false, "exit 1 on any transport error or unexpected status")
 	allow429 := fs.Bool("allow-429", false, "with -fail-on-error, tolerate 429s (deliberate saturation probes)")
+	minEpoch := fs.Bool("min-epoch", false, "send X-Chainlog-Min-Epoch on queries and count stale reads (read-your-writes check)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -157,7 +172,8 @@ func run(argv []string) int {
 				}
 				var url string
 				var body []byte
-				if isMutation(k) {
+				mutation := isMutation(k)
+				if mutation {
 					st.mutations++
 					url = *addr + "/v1/delta"
 					body = mutBody()
@@ -166,16 +182,57 @@ func run(argv []string) int {
 					url = *addr + "/v1/query"
 					body = queryBodies[k%len(queryBodies)]
 				}
-				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 				if err != nil {
 					st.transport++
 					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				var sentMin uint64
+				if *minEpoch && !mutation && st.lastEpoch > 0 {
+					sentMin = st.lastEpoch
+					req.Header.Set("X-Chainlog-Min-Epoch", strconv.FormatUint(sentMin, 10))
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					st.transport++
+					continue
+				}
+				// A replica refuses the write and names the primary;
+				// re-issue there and measure the whole round trip.
+				if mutation && resp.StatusCode == http.StatusForbidden {
+					if primary := resp.Header.Get("X-Chainlog-Primary"); primary != "" {
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						st.redirects++
+						redo, rerr := http.NewRequest(http.MethodPost,
+							strings.TrimRight(primary, "/")+"/v1/delta", bytes.NewReader(body))
+						if rerr != nil {
+							st.transport++
+							continue
+						}
+						redo.Header.Set("Content-Type", "application/json")
+						resp, err = client.Do(redo)
+						if err != nil {
+							st.transport++
+							continue
+						}
+					}
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				st.lats = append(st.lats, time.Since(t0))
 				st.status[resp.StatusCode]++
+				if *minEpoch {
+					if e, perr := strconv.ParseUint(resp.Header.Get("X-Chainlog-Epoch"), 10, 64); perr == nil {
+						if mutation && resp.StatusCode < 300 && e > st.lastEpoch {
+							st.lastEpoch = e
+						} else if !mutation && sentMin > 0 && e < sentMin {
+							st.stale++
+						}
+					}
+				}
 			}
 		}()
 	}
@@ -193,6 +250,8 @@ func run(argv []string) int {
 		sum.TransportErrors += st.transport
 		sum.Queries += st.queries
 		sum.Mutations += st.mutations
+		sum.StaleReads += st.stale
+		sum.Redirects += st.redirects
 		for code, n := range st.status {
 			sum.Status[fmt.Sprint(code)] += n
 			if code >= 200 && code < 300 {
@@ -229,7 +288,7 @@ func run(argv []string) int {
 	}
 
 	if *failOnError {
-		bad := sum.TransportErrors
+		bad := sum.TransportErrors + sum.StaleReads
 		for code, n := range sum.Status {
 			if strings.HasPrefix(code, "2") || (*allow429 && code == "429") {
 				continue
@@ -237,7 +296,8 @@ func run(argv []string) int {
 			bad += n
 		}
 		if bad > 0 || sum.OK == 0 {
-			fmt.Fprintf(os.Stderr, "loadgen: %d failed request(s), %d ok\n", bad, sum.OK)
+			fmt.Fprintf(os.Stderr, "loadgen: %d failed request(s) (%d stale reads), %d ok\n",
+				bad, sum.StaleReads, sum.OK)
 			return 1
 		}
 	}

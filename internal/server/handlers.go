@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"chainlog"
+
+	"chainlog/internal/wal"
 )
 
 // maxBodyBytes bounds request bodies; a query or delta body past 8 MiB
@@ -90,10 +93,13 @@ type DeltaRequest struct {
 }
 
 // MutationResponse reports what a mutation endpoint changed (no-ops
-// excluded, matching ApplyResult).
+// excluded, matching ApplyResult) and the fact epoch the database
+// reached — the token a client sends back as X-Chainlog-Min-Epoch to
+// get read-your-writes on a replica.
 type MutationResponse struct {
-	Asserted  int `json:"asserted"`
-	Retracted int `json:"retracted"`
+	Asserted  int    `json:"asserted"`
+	Retracted int    `json:"retracted"`
+	Epoch     uint64 `json:"epoch"`
 }
 
 // errorResponse is every non-2xx JSON body.
@@ -161,6 +167,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+
+	// Read-your-writes: X-Chainlog-Min-Epoch makes the query wait (within
+	// its deadline) until this node has applied at least that epoch, then
+	// the response's X-Chainlog-Epoch proves what the evaluation saw.
+	if hdr := r.Header.Get("X-Chainlog-Min-Epoch"); hdr != "" {
+		min, err := strconv.ParseUint(hdr, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "malformed X-Chainlog-Min-Epoch %q: %v", hdr, err)
+			return
+		}
+		if err := s.awaitEpoch(ctx, min); err != nil {
+			writeError(w, httpStatusFor(err), "min epoch %d not reached (at %d): %v", min, s.db.FactEpoch(), err)
+			return
+		}
+	}
+	// The epoch is read before evaluation: the data the query sees is at
+	// least this fresh, so the stamp is a sound read-your-writes token.
+	w.Header().Set("X-Chainlog-Epoch", strconv.FormatUint(s.db.FactEpoch(), 10))
 
 	if req.Query != "" {
 		// One-shot literal: the DB's internal plan cache templateizes it,
@@ -237,18 +261,31 @@ func checkFacts(w http.ResponseWriter, facts []FactJSON) bool {
 	return true
 }
 
+// finishMutation runs the commit path and renders the response with the
+// reached epoch (header and body).
+func (s *Server) finishMutation(w http.ResponseWriter, d *chainlog.Delta, ops []wal.Op) {
+	res, epoch, err := s.commit(d, ops)
+	if err != nil {
+		s.writeCommitError(w, err)
+		return
+	}
+	s.mutations.Add(uint64(res.Asserted + res.Retracted))
+	w.Header().Set("X-Chainlog-Epoch", strconv.FormatUint(epoch, 10))
+	writeJSON(w, http.StatusOK, MutationResponse{Asserted: res.Asserted, Retracted: res.Retracted, Epoch: epoch})
+}
+
 func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 	var req MutationRequest
 	if !decodeBody(w, r, &req) || !checkFacts(w, req.Facts) {
 		return
 	}
 	d := &chainlog.Delta{}
+	ops := make([]wal.Op, 0, len(req.Facts))
 	for _, f := range req.Facts {
 		d.Assert(f.Pred, f.Args...)
+		ops = append(ops, wal.Op{Pred: f.Pred, Args: f.Args})
 	}
-	res := s.db.Apply(d)
-	s.mutations.Add(uint64(res.Asserted + res.Retracted))
-	writeJSON(w, http.StatusOK, MutationResponse{Asserted: res.Asserted})
+	s.finishMutation(w, d, ops)
 }
 
 func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
@@ -257,12 +294,12 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d := &chainlog.Delta{}
+	ops := make([]wal.Op, 0, len(req.Facts))
 	for _, f := range req.Facts {
 		d.Retract(f.Pred, f.Args...)
+		ops = append(ops, wal.Op{Retract: true, Pred: f.Pred, Args: f.Args})
 	}
-	res := s.db.Apply(d)
-	s.mutations.Add(uint64(res.Asserted + res.Retracted))
-	writeJSON(w, http.StatusOK, MutationResponse{Retracted: res.Retracted})
+	s.finishMutation(w, d, ops)
 }
 
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
@@ -275,6 +312,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	d := &chainlog.Delta{}
+	ops := make([]wal.Op, 0, len(req.Ops))
 	for i, op := range req.Ops {
 		if op.Pred == "" || len(op.Args) == 0 {
 			writeError(w, http.StatusBadRequest, "ops[%d]: \"pred\" and \"args\" are required", i)
@@ -283,16 +321,16 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		switch op.Op {
 		case "assert":
 			d.Assert(op.Pred, op.Args...)
+			ops = append(ops, wal.Op{Pred: op.Pred, Args: op.Args})
 		case "retract":
 			d.Retract(op.Pred, op.Args...)
+			ops = append(ops, wal.Op{Retract: true, Pred: op.Pred, Args: op.Args})
 		default:
 			writeError(w, http.StatusBadRequest, "ops[%d]: unknown op %q (want \"assert\" or \"retract\")", i, op.Op)
 			return
 		}
 	}
-	res := s.db.Apply(d)
-	s.mutations.Add(uint64(res.Asserted + res.Retracted))
-	writeJSON(w, http.StatusOK, MutationResponse{Asserted: res.Asserted, Retracted: res.Retracted})
+	s.finishMutation(w, d, ops)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {

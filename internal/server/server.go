@@ -18,12 +18,14 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"chainlog"
 
 	"chainlog/internal/metrics"
+	"chainlog/internal/wal"
 )
 
 // Config tunes a Server. The zero value of every field gets a production
@@ -62,6 +64,34 @@ type Config struct {
 	// Logf receives one line per lifecycle event (boot, drain) and per
 	// failed request. Default log.Printf.
 	Logf func(format string, args ...any)
+
+	// WAL, when set, makes every committed mutation durable: the record
+	// is appended (and fsynced per the log's policy) before the response
+	// is sent, and /v1/replicate serves the log to replicas. Nil keeps
+	// the in-memory-only behavior.
+	WAL *wal.Log
+
+	// Role is "primary" (default: accepts writes, serves the feed) or
+	// "replica" (rejects writes with 403 + X-Chainlog-Primary, tails
+	// PrimaryURL). POST /v1/promote flips a replica to primary at
+	// runtime.
+	Role string
+
+	// PrimaryURL is the primary's base URL — where a replica tails from
+	// and bootstraps against, and what its 403s advertise to clients.
+	// Required for Role "replica".
+	PrimaryURL string
+
+	// ReplicateWindow bounds one /v1/replicate long-poll: a caught-up
+	// feed connection closes after this long and the replica reconnects.
+	// Default 25s.
+	ReplicateWindow time.Duration
+
+	// SnapshotBytes is the auto-snapshot threshold: once this many WAL
+	// bytes accumulate past the newest snapshot, a snapshot is written
+	// in the background and covered segments are truncated. Default
+	// 8 MiB; negative disables auto-snapshots.
+	SnapshotBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +113,15 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.Role == "" {
+		c.Role = RolePrimary
+	}
+	if c.ReplicateWindow == 0 {
+		c.ReplicateWindow = 25 * time.Second
+	}
+	if c.SnapshotBytes == 0 {
+		c.SnapshotBytes = 8 << 20
+	}
 	return c
 }
 
@@ -96,23 +135,59 @@ type Server struct {
 	metrics  *metrics.Registry
 	sem      chan struct{}
 	draining atomic.Bool
+	drainCh  chan struct{} // closed on the first SetDraining(true)
 
 	inFlight  *metrics.Gauge
 	rejected  *metrics.Counter
 	latency   map[string]*metrics.Histogram
 	requests  func(endpoint, code string) *metrics.Counter
 	mutations *metrics.Counter
+
+	// Replication state (see replication.go). commitMu serializes
+	// apply+WAL-append so log order is epoch order; epochMu/epochCh
+	// broadcast fact-epoch movement to min-epoch waiters.
+	wal          *wal.Log
+	replica      atomic.Bool
+	commitMu     sync.Mutex
+	epochMu      sync.Mutex
+	epochCh      chan struct{}
+	snapInFlight atomic.Bool
+	replMu       sync.Mutex
+	replCancel   context.CancelFunc
+	replWG       sync.WaitGroup
+	replClient   *http.Client
+	replHead     atomic.Uint64
+
+	snapshots     *metrics.Counter
+	replApplied   *metrics.Counter
+	replLag       *metrics.Gauge
+	replConnected *metrics.Gauge
 }
 
 // endpoints names every instrumented route; per-endpoint histograms are
 // pre-registered so /metrics exposes the full set from the first scrape.
-var endpoints = []string{"query", "assert", "retract", "delta", "explain", "healthz", "metrics"}
+var endpoints = []string{"query", "assert", "retract", "delta", "explain", "healthz", "metrics",
+	"replicate", "snapshot", "status", "promote"}
 
 // New builds a Server over the database.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.DB == nil {
 		return nil, errors.New("server: Config.DB is required")
+	}
+	switch cfg.Role {
+	case RolePrimary:
+	case RoleReplica:
+		if cfg.PrimaryURL == "" {
+			return nil, errors.New("server: Role \"replica\" requires Config.PrimaryURL")
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown Role %q (want %q or %q)", cfg.Role, RolePrimary, RoleReplica)
+	}
+	if cfg.PrimaryURL != "" {
+		if err := primaryURLValid(cfg.PrimaryURL); err != nil {
+			return nil, fmt.Errorf("server: Config.PrimaryURL: %w", err)
+		}
 	}
 	reg := metrics.NewRegistry()
 	base := chainlog.Options{Parallelism: cfg.Parallelism}
@@ -122,12 +197,19 @@ func New(cfg Config) (*Server, error) {
 		registry: newPlanRegistry(cfg.DB, base, reg),
 		metrics:  reg,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
-		inFlight: reg.Gauge("chainlogd_in_flight_requests", "Requests currently executing.", ""),
-		rejected: reg.Counter("chainlogd_rejected_total", "Requests rejected by the in-flight limiter (HTTP 429).", ""),
-		latency:  make(map[string]*metrics.Histogram),
+		drainCh:  make(chan struct{}),
+		epochCh:  make(chan struct{}),
+		wal:      cfg.WAL,
+		// The tailer holds one long-poll connection at a time; no client
+		// timeout (the feed window bounds it), ctx cancels on shutdown.
+		replClient: &http.Client{},
+		inFlight:   reg.Gauge("chainlogd_in_flight_requests", "Requests currently executing.", ""),
+		rejected:   reg.Counter("chainlogd_rejected_total", "Requests rejected by the in-flight limiter (HTTP 429).", ""),
+		latency:    make(map[string]*metrics.Histogram),
 		mutations: reg.Counter("chainlogd_fact_mutations_total",
 			"Facts asserted or retracted (net of no-ops) across all mutation endpoints.", ""),
 	}
+	s.replica.Store(cfg.Role == RoleReplica)
 	for _, ep := range endpoints {
 		s.latency[ep] = reg.Histogram("chainlogd_request_seconds",
 			"Request latency by endpoint.", metrics.Labels("endpoint", ep), nil)
@@ -144,6 +226,27 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return float64(cfg.DB.PlanCacheStats().Misses) })
 	reg.GaugeFunc("chainlogd_plan_registry_entries", "Prepared plans in the serving registry.", "",
 		func() float64 { return float64(s.registry.size()) })
+	// Epoch exposure: where this node sits in the replication log, read
+	// at scrape time.
+	reg.GaugeFunc("chainlogd_fact_epoch", "Current fact epoch (replication log sequence number).", "",
+		func() float64 { return float64(cfg.DB.FactEpoch()) })
+	reg.GaugeFunc("chainlogd_rule_epoch", "Current rule epoch (plan-invalidating mutations).", "",
+		func() float64 { return float64(cfg.DB.RuleEpoch()) })
+	s.snapshots = reg.Counter("chainlogd_wal_snapshots_total", "WAL snapshots written (with segment truncation).", "")
+	s.replApplied = reg.Counter("chainlogd_replication_applied_total", "Replicated records applied by the tailer.", "")
+	s.replLag = reg.Gauge("chainlogd_replication_lag", "Epochs behind the primary's head (replicas; 0 when caught up).", "")
+	s.replConnected = reg.Gauge("chainlogd_replication_connected", "1 while the tailer holds a live feed connection.", "")
+	if s.wal != nil {
+		fsyncHist := reg.Histogram("chainlogd_wal_fsync_seconds", "WAL segment fsync latency.", "",
+			[]float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1})
+		s.wal.SetFsyncObserver(func(d time.Duration) { fsyncHist.Observe(d.Seconds()) })
+		reg.GaugeFunc("chainlogd_wal_last_epoch", "Epoch of the newest WAL record.", "",
+			func() float64 { return float64(s.wal.LastEpoch()) })
+		reg.GaugeFunc("chainlogd_wal_segments", "Live WAL segment files.", "",
+			func() float64 { return float64(s.wal.Segments()) })
+		reg.GaugeFunc("chainlogd_wal_bytes_since_snapshot", "WAL bytes appended past the newest snapshot.", "",
+			func() float64 { return float64(s.wal.SizeSinceSnapshot()) })
+	}
 	return s, nil
 }
 
@@ -153,8 +256,16 @@ func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
 // SetDraining flips the drain flag: /healthz answers 503 so load
 // balancers take the instance out of rotation while in-flight requests
-// finish under http.Server.Shutdown.
-func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+// finish under http.Server.Shutdown. The first transition to draining
+// also wakes long-poll feed connections so Shutdown does not wait a
+// whole replicate window for them.
+func (s *Server) SetDraining(v bool) {
+	if v && s.draining.CompareAndSwap(false, true) {
+		close(s.drainCh)
+		return
+	}
+	s.draining.Store(v)
+}
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -166,6 +277,13 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/explain", s.instrument("explain", true, s.handleExplain))
 	mux.Handle("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	// Replication routes run outside the in-flight limiter: the feed is
+	// a long-lived connection, and status/snapshot must answer even on a
+	// saturated node (that is when the operator needs them).
+	mux.Handle("GET /v1/replicate", s.instrument("replicate", false, s.handleReplicate))
+	mux.Handle("GET /v1/snapshot", s.instrument("snapshot", false, s.handleSnapshot))
+	mux.Handle("GET /v1/status", s.instrument("status", false, s.handleStatus))
+	mux.Handle("POST /v1/promote", s.instrument("promote", false, s.handlePromote))
 	return mux
 }
 
@@ -178,6 +296,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streamed endpoints (the
+// replicate feed) work through the instrumentation wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with the limiter (when limited), the
@@ -275,13 +401,17 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout t
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	s.cfg.Logf("chainlogd: serving on %s (max-inflight=%d, default-timeout=%s, max-nodes=%d)",
-		addr, s.cfg.MaxInFlight, s.cfg.DefaultTimeout, s.cfg.MaxNodes)
+	s.cfg.Logf("chainlogd: serving on %s as %s (max-inflight=%d, default-timeout=%s, max-nodes=%d)",
+		addr, s.Role(), s.cfg.MaxInFlight, s.cfg.DefaultTimeout, s.cfg.MaxNodes)
+	if s.replica.Load() {
+		s.StartReplication(ctx)
+	}
 	select {
 	case err := <-errc:
 		return err // bind failure or unexpected listener death
 	case <-ctx.Done():
 	}
+	s.stopReplication()
 	s.SetDraining(true)
 	s.cfg.Logf("chainlogd: draining (waiting up to %s for in-flight requests)", drainTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)

@@ -1,0 +1,187 @@
+#!/usr/bin/env bash
+# cluster_e2e.sh — end-to-end exercise of the replication subsystem:
+# boot a WAL-backed primary and two replicas, drive mixed query/mutation
+# loadgen traffic AT A REPLICA with the read-your-writes check on
+# (mutations bounce 403 to the primary, queries carry
+# X-Chainlog-Min-Epoch and fail the run on any stale read), kill -9 one
+# replica mid-run, restart it on its surviving WAL, and assert the whole
+# cluster converges to the primary's epoch with byte-identical query
+# answers. Finishes with a manual failover: kill the primary, promote a
+# replica, and write to it. Non-zero exit on any mismatch.
+#
+# Usage:
+#   scripts/cluster_e2e.sh
+#
+# Environment:
+#   CLUSTER_BASE_PORT   first of three consecutive ports (default 8094)
+#   CLUSTER_LOAD_SECS   loadgen duration in seconds (default 6)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE_PORT="${CLUSTER_BASE_PORT:-8094}"
+LOAD_SECS="${CLUSTER_LOAD_SECS:-6}"
+P_PORT=$BASE_PORT
+R1_PORT=$((BASE_PORT + 1))
+R2_PORT=$((BASE_PORT + 2))
+P_URL="http://127.0.0.1:$P_PORT"
+R1_URL="http://127.0.0.1:$R1_PORT"
+R2_URL="http://127.0.0.1:$R2_PORT"
+PROGRAM=examples/serving/family.dl
+
+TMP="$(mktemp -d)"
+P_PID="" R1_PID="" R2_PID=""
+FAILURES=0
+
+cleanup() {
+  for pid in "$P_PID" "$R1_PID" "$R2_PID"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "cluster-e2e: FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+ok() { echo "cluster-e2e: ok: $*"; }
+
+echo "cluster-e2e: building chainlogd, chainlogctl, loadgen" >&2
+go build -o "$TMP/chainlogd" ./cmd/chainlogd
+go build -o "$TMP/chainlogctl" ./cmd/chainlogctl
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+# boot_node <name> <port> <wal-dir> [extra flags...]; prints the PID.
+boot_node() {
+  local name="$1" port="$2" wal="$3"
+  shift 3
+  "$TMP/chainlogd" -program "$PROGRAM" -addr "127.0.0.1:$port" \
+    -wal-dir "$wal" -snapshot-bytes 65536 -drain-timeout 5s "$@" \
+    >>"$TMP/$name.log" 2>&1 &
+  echo $!
+}
+
+wait_healthy() {
+  local url="$1" name="$2"
+  for i in $(seq 1 100); do
+    if curl -sf "$url/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "cluster-e2e: $name never became healthy" >&2
+  cat "$TMP/$name.log" >&2
+  exit 1
+}
+
+# fact_epoch <url> — extract the fact epoch from /v1/status.
+fact_epoch() {
+  curl -sf "$1/v1/status" | grep -o '"fact_epoch":[0-9]*' | head -1 | cut -d: -f2
+}
+
+P_PID=$(boot_node primary "$P_PORT" "$TMP/wal-p")
+wait_healthy "$P_URL" primary
+R1_PID=$(boot_node replica1 "$R1_PORT" "$TMP/wal-r1" -role replica -primary "$P_URL")
+R2_PID=$(boot_node replica2 "$R2_PORT" "$TMP/wal-r2" -role replica -primary "$P_URL")
+wait_healthy "$R1_URL" replica1
+wait_healthy "$R2_URL" replica2
+ok "booted primary ($P_PID) + replicas ($R1_PID, $R2_PID)"
+
+"$TMP/chainlogctl" status -nodes "$P_URL,$R1_URL,$R2_URL"
+
+# Mixed traffic at replica1 with the read-your-writes check: every
+# mutation 403s to the primary (a redirect), and every subsequent query
+# must answer at or past the epoch that mutation returned. Any stale
+# read or non-2xx final status fails the run.
+"$TMP/loadgen" -addr "$R1_URL" -duration "${LOAD_SECS}s" -qps 80 \
+  -template 'ancestor(?, Y)' -args bart,lisa,homer \
+  -mutation-ratio 0.2 -min-epoch -fail-on-error \
+  -out "$TMP/load.json" >"$TMP/loadgen.log" 2>&1 &
+LOAD_PID=$!
+
+# Mid-run: kill -9 replica2 (no drain, torn WAL tail is fair game),
+# then restart it on the same WAL directory.
+sleep 2
+kill -9 "$R2_PID"
+ok "killed replica2 (pid $R2_PID) mid-run"
+sleep 1
+R2_PID=$(boot_node replica2 "$R2_PORT" "$TMP/wal-r2" -role replica -primary "$P_URL")
+wait_healthy "$R2_URL" replica2
+ok "restarted replica2 (pid $R2_PID) on its WAL"
+
+RC=0
+wait "$LOAD_PID" || RC=$?
+cat "$TMP/load.json"
+if [ "$RC" != 0 ]; then
+  fail "loadgen exited $RC (stale reads or failed requests)"
+  cat "$TMP/loadgen.log" >&2
+else
+  ok "loadgen clean: no stale reads, no failed requests"
+fi
+if ! grep -q '"redirects": [1-9]' "$TMP/load.json"; then
+  fail "loadgen never exercised the 403 -> primary redirect path"
+else
+  ok "mutations redirected to the primary"
+fi
+
+# Convergence: every node must reach the primary's final epoch.
+WANT=$(fact_epoch "$P_URL")
+for i in $(seq 1 100); do
+  E1=$(fact_epoch "$R1_URL" || echo -1)
+  E2=$(fact_epoch "$R2_URL" || echo -1)
+  if [ "$E1" = "$WANT" ] && [ "$E2" = "$WANT" ]; then break; fi
+  if [ "$i" = 100 ]; then
+    fail "catch-up timeout: primary=$WANT replica1=$E1 replica2=$E2"
+    "$TMP/chainlogctl" status -nodes "$P_URL,$R1_URL,$R2_URL" || true
+  fi
+  sleep 0.1
+done
+[ "$FAILURES" -eq 0 ] && ok "all nodes at epoch $WANT (replica2 caught up after kill -9)"
+
+"$TMP/chainlogctl" status -nodes "$P_URL,$R1_URL,$R2_URL"
+
+# Byte-identical answers across the cluster for a sweep of queries.
+for q in 'ancestor(bart, Y)' 'ancestor(X, abe)' 'ancestor(homer, Y)' \
+         'loadgen_edge(X, Y)'; do
+  for node in p r1 r2; do
+    url_var="${node^^}_URL"
+    curl -sS -X POST -H 'Content-Type: application/json' \
+      -d "{\"query\": \"$q\"}" "${!url_var}/v1/query" >"$TMP/ans-$node"
+  done
+  if ! cmp -s "$TMP/ans-p" "$TMP/ans-r1" || ! cmp -s "$TMP/ans-p" "$TMP/ans-r2"; then
+    fail "answers diverge for '$q': primary=$(cat "$TMP/ans-p") r1=$(cat "$TMP/ans-r1") r2=$(cat "$TMP/ans-r2")"
+  else
+    ok "byte-identical answers for '$q'"
+  fi
+done
+
+# Manual failover: kill the primary, promote replica1, write to it.
+kill -9 "$P_PID"
+P_PID=""
+"$TMP/chainlogctl" promote -node "$R1_URL"
+ROLE=$(curl -sf "$R1_URL/v1/status" | grep -o '"role":"[a-z]*"')
+if [ "$ROLE" != '"role":"primary"' ]; then
+  fail "replica1 role after promote: $ROLE"
+else
+  ok "replica1 promoted"
+fi
+STATUS=$(curl -sS -o "$TMP/resp" -w '%{http_code}' -X POST \
+  -H 'Content-Type: application/json' \
+  -d '{"facts": [{"pred": "parent", "args": ["failover", "works"]}]}' \
+  "$R1_URL/v1/assert")
+if [ "$STATUS" != 200 ] || ! grep -q '"asserted":1' "$TMP/resp"; then
+  fail "write after promote: status $STATUS, body $(cat "$TMP/resp")"
+else
+  ok "write accepted after failover"
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "cluster-e2e: $FAILURES check(s) failed" >&2
+  for log in primary replica1 replica2; do
+    echo "--- $log.log ---" >&2
+    tail -40 "$TMP/$log.log" >&2 || true
+  done
+  exit 1
+fi
+echo "cluster-e2e: all checks passed"
