@@ -79,6 +79,7 @@ import (
 	"chainlog/internal/ast"
 	"chainlog/internal/edb"
 	"chainlog/internal/parser"
+	"chainlog/internal/snapshot"
 	"chainlog/internal/symtab"
 )
 
@@ -119,6 +120,10 @@ type DB struct {
 
 	// plans is the prepared-plan cache behind Query/QueryOpts.
 	plans planCache
+
+	// snap, when the DB was built by OpenSnapshot, owns the mapped
+	// snapshot backing the symbol table and store. Close releases it.
+	snap *snapshot.File
 }
 
 // NewDB returns an empty database.

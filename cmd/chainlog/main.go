@@ -29,7 +29,20 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "ingest":
+			err = runIngest(os.Args[2:])
+		case "gen":
+			err = runGen(os.Args[2:])
+		default:
+			err = run()
+		}
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "chainlog:", err)
 		os.Exit(1)
 	}
@@ -51,7 +64,27 @@ func run() error {
 	if *programPath == "" {
 		return fmt.Errorf("-program is required")
 	}
-	db := chainlog.NewDB()
+	// A binary -facts file becomes the DB via the zero-copy mmap path;
+	// rules load on top. Text facts keep the original parse path.
+	var db *chainlog.DB
+	binFacts := false
+	if *factsPath != "" {
+		ok, err := chainlog.IsSnapshotFile(*factsPath)
+		if err != nil {
+			return err
+		}
+		binFacts = ok
+	}
+	if binFacts {
+		var err error
+		db, err = chainlog.OpenSnapshot(*factsPath)
+		if err != nil {
+			return fmt.Errorf("opening snapshot %s: %w", *factsPath, err)
+		}
+		defer db.Close()
+	} else {
+		db = chainlog.NewDB()
+	}
 	src, err := os.ReadFile(*programPath)
 	if err != nil {
 		return err
@@ -59,7 +92,7 @@ func run() error {
 	if err := db.LoadProgram(string(src)); err != nil {
 		return fmt.Errorf("loading %s: %w", *programPath, err)
 	}
-	if *factsPath != "" {
+	if *factsPath != "" && !binFacts {
 		facts, err := os.ReadFile(*factsPath)
 		if err != nil {
 			return err

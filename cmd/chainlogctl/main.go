@@ -133,7 +133,9 @@ func runBootstrap(args []string, client *http.Client, stdout, stderr io.Writer) 
 	if *from == "" || *walDir == "" {
 		return fmt.Errorf("bootstrap: -from and -wal-dir are required")
 	}
-	resp, err := client.Get(strings.TrimRight(*from, "/") + "/v1/snapshot")
+	// Prefer the binary columnar snapshot; an older node ignores the
+	// parameter and streams text, which Content-Type distinguishes.
+	resp, err := client.Get(strings.TrimRight(*from, "/") + "/v1/snapshot?format=binary")
 	if err != nil {
 		return err
 	}
@@ -145,6 +147,7 @@ func runBootstrap(args []string, client *http.Client, stdout, stderr io.Writer) 
 	if err != nil {
 		return fmt.Errorf("snapshot from %s: malformed X-Chainlog-Epoch: %v", *from, err)
 	}
+	binary := strings.HasPrefix(resp.Header.Get("Content-Type"), "application/octet-stream")
 	l, err := wal.Open(wal.Options{Dir: *walDir})
 	if err != nil {
 		return err
@@ -153,7 +156,11 @@ func runBootstrap(args []string, client *http.Client, stdout, stderr io.Writer) 
 	if last := l.LastEpoch(); last >= epoch {
 		return fmt.Errorf("bootstrap: %s is already at epoch %d (snapshot is %d); refusing to rewind", *walDir, last, epoch)
 	}
-	if _, err := l.WriteSnapshot(func(w io.Writer) (uint64, error) {
+	install := l.WriteSnapshot
+	if binary {
+		install = l.WriteSnapshotBinary
+	}
+	if _, err := install(func(w io.Writer) (uint64, error) {
 		_, cerr := io.Copy(w, resp.Body)
 		return epoch, cerr
 	}); err != nil {

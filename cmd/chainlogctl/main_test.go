@@ -157,7 +157,7 @@ func TestBootstrapInstallsSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := db.RestoreFacts(f, epoch); err != nil {
+	if err := db.RestoreFactsAuto(f, epoch); err != nil {
 		t.Fatal(err)
 	}
 	if ans, err := db.Query("ancestor(maggie, Y)"); err != nil || len(ans.Rows) == 0 {

@@ -5,11 +5,19 @@
 //
 // Usage:
 //
-//	chainlogd -program prog.dl [-facts facts.dl] [-addr :8080] \
+//	chainlogd -program prog.dl [-facts facts.dl|facts.snap] [-addr :8080] \
 //	          [-max-inflight 64] [-default-timeout 5s] [-max-timeout 30s] \
 //	          [-max-nodes 4194304] [-parallelism 0] [-drain-timeout 15s] \
 //	          [-wal-dir DIR] [-fsync always|rotate] [-segment-bytes N] \
-//	          [-snapshot-bytes N] [-role primary|replica] [-primary URL]
+//	          [-snapshot-bytes N] [-snapshot-format text|binary] \
+//	          [-role primary|replica] [-primary URL]
+//
+// -facts accepts either Datalog fact text or a columnar binary
+// snapshot (detected by magic); a binary snapshot is memory-mapped, so
+// a 100M-edge store is serving queries milliseconds after boot.
+// -snapshot-format selects what the WAL's automatic snapshots and the
+// replication bootstrap stream use; recovery auto-detects, so the
+// setting can change between restarts.
 //
 // Endpoints:
 //
@@ -22,7 +30,8 @@
 //	                           {"op":"retract","pred":"e","args":["b","c"]}]}
 //	GET  /v1/explain?query=tc(a,%20Y)
 //	GET  /v1/status   role, epochs, WAL and replication state (JSON)
-//	GET  /v1/snapshot fact snapshot text + X-Chainlog-Epoch
+//	GET  /v1/snapshot fact snapshot + X-Chainlog-Epoch (?format=binary
+//	                  streams the columnar snapshot instead of text)
 //	GET  /v1/replicate?from=E  NDJSON delta feed for replicas
 //	POST /v1/promote  replica -> primary (manual failover)
 //	GET  /healthz     200 ok / 503 draining
@@ -82,6 +91,7 @@ func run(args []string) error {
 	snapshotBytes := fs.Int64("snapshot-bytes", 8<<20, "WAL bytes between automatic snapshots (negative disables)")
 	role := fs.String("role", "primary", "\"primary\" (accepts writes) or \"replica\" (tails -primary, read-only)")
 	primaryURL := fs.String("primary", "", "primary base URL (required with -role replica)")
+	snapshotFormat := fs.String("snapshot-format", "text", "format of WAL auto-snapshots: \"text\" or \"binary\"")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,7 +99,32 @@ func run(args []string) error {
 	if *programPath == "" {
 		return fmt.Errorf("-program is required")
 	}
-	db := chainlog.NewDB()
+	if *snapshotFormat != "text" && *snapshotFormat != "binary" {
+		return fmt.Errorf("-snapshot-format must be \"text\" or \"binary\"")
+	}
+	// A binary -facts file (from `chainlog ingest` or a snapshot) boots
+	// through the zero-copy mmap path: the daemon serves its first query
+	// without parsing or index building. Text facts load as before.
+	var db *chainlog.DB
+	binFacts := false
+	if *factsPath != "" {
+		ok, err := chainlog.IsSnapshotFile(*factsPath)
+		if err != nil {
+			return err
+		}
+		binFacts = ok
+	}
+	if binFacts {
+		var err error
+		db, err = chainlog.OpenSnapshot(*factsPath)
+		if err != nil {
+			return fmt.Errorf("opening snapshot %s: %w", *factsPath, err)
+		}
+		defer db.Close()
+		log.Printf("chainlogd: mapped binary snapshot %s (epoch %d)", *factsPath, db.FactEpoch())
+	} else {
+		db = chainlog.NewDB()
+	}
 	src, err := os.ReadFile(*programPath)
 	if err != nil {
 		return err
@@ -97,7 +132,7 @@ func run(args []string) error {
 	if err := db.LoadProgram(string(src)); err != nil {
 		return fmt.Errorf("loading %s: %w", *programPath, err)
 	}
-	if *factsPath != "" {
+	if *factsPath != "" && !binFacts {
 		facts, err := os.ReadFile(*factsPath)
 		if err != nil {
 			return err
@@ -135,6 +170,7 @@ func run(args []string) error {
 		Role:           *role,
 		PrimaryURL:     *primaryURL,
 		SnapshotBytes:  *snapshotBytes,
+		SnapshotFormat: *snapshotFormat,
 	})
 	if err != nil {
 		return err
@@ -155,7 +191,7 @@ func recoverWAL(db *chainlog.DB, l *wal.Log) error {
 		if err != nil {
 			return err
 		}
-		err = db.RestoreFacts(f, epoch)
+		err = db.RestoreFactsAuto(f, epoch)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("restoring snapshot %s: %w", path, err)

@@ -58,16 +58,18 @@ func (t Term) Render(st *symtab.Table) string {
 		return fmt.Sprintf("#%d", int(t.Const))
 	}
 	name := st.Name(t.Const)
-	if constNeedsQuoting(name) {
+	if ConstNeedsQuoting(name) {
 		return "'" + name + "'"
 	}
 	return name
 }
 
-// constNeedsQuoting reports whether a constant name must be quoted to
+// ConstNeedsQuoting reports whether a constant name must be quoted to
 // survive a render → parse round trip: anything that is not a plain
-// lower-case ASCII identifier or a well-formed integer.
-func constNeedsQuoting(name string) bool {
+// lower-case ASCII identifier or a well-formed integer. Exported so
+// bulk writers (fact dumps) can stream names straight into a buffer
+// instead of going through Render's returned string.
+func ConstNeedsQuoting(name string) bool {
 	if name == "" {
 		return true
 	}

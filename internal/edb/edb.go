@@ -253,6 +253,15 @@ type Relation struct {
 	// falls back to filtering every key through the liveness map.
 	retractLog [][2]symtab.Sym
 	logBase    uint32
+	// frozen marks a relation constructed directly in CSR/flat layout
+	// (snapshot open, bulk build — see frozen.go) whose flat storage and
+	// dedup maps may not exist yet; thawed flips once they are
+	// materialized and heap-owned. Ordinary relations are born thawed.
+	// aliasedFlat marks flat storage borrowed from a read-only mapping,
+	// which a thaw must copy before any in-place write.
+	frozen      bool
+	aliasedFlat bool
+	thawed      atomic.Bool
 	// mu guards lazy construction of the structures below; readers go
 	// through the atomic pointers without locking, so concurrent probes
 	// scale while a racing first build happens exactly once.
@@ -304,6 +313,7 @@ func newRelation(s *Store, name string, arity int) *Relation {
 	}
 	idx := make(map[uint32]map[string][]int32)
 	r.indexes.Store(&idx)
+	r.thawed.Store(true)
 	return r
 }
 
@@ -345,6 +355,7 @@ func (r *Relation) insert(args []symtab.Sym) bool {
 	if len(args) != r.arity {
 		panic(fmt.Sprintf("edb: %s arity %d, got %d args", r.name, r.arity, len(args)))
 	}
+	r.ensureThawed()
 	slot := int32(r.n)
 	if r.arity <= packedKeyCols {
 		key := packKey(args)
@@ -388,6 +399,7 @@ func (r *Relation) remove(args []symtab.Sym) bool {
 	if len(args) != r.arity {
 		return false
 	}
+	r.ensureThawed()
 	var slot int32
 	if r.arity <= packedKeyCols {
 		key := packKey(args)
@@ -494,8 +506,11 @@ func (r *Relation) maybeCompact() {
 // Tuple returns the tuple in slot i (aliasing internal storage; callers
 // must not mutate it). Slots include tombstoned tuples: code iterating a
 // relation that may have seen removals must use Each/EachRaw, which skip
-// them; direct slot loops are only exact for insert-only relations.
+// them; direct slot loops are only exact for insert-only relations. On a
+// frozen binary relation the first call materializes the flat storage
+// (slot order is CSR order, so published slots stay valid).
 func (r *Relation) Tuple(i int) []symtab.Sym {
+	r.ensureThawed()
 	return r.flat[i*r.arity : (i+1)*r.arity]
 }
 
@@ -520,6 +535,10 @@ func (r *Relation) EachRaw(f func(tuple []symtab.Sym)) {
 }
 
 func (r *Relation) eachRaw(f func(tuple []symtab.Sym)) {
+	if r.frozen && !r.thawed.Load() && r.arity == 2 {
+		r.eachRawFrozenBinary(f)
+		return
+	}
 	if r.live == r.n {
 		for i := 0; i < r.n; i++ {
 			f(r.Tuple(i))
@@ -540,6 +559,16 @@ func (r *Relation) Contains(args []symtab.Sym) bool {
 		return false
 	}
 	var ok bool
+	if r.frozen && !r.thawed.Load() {
+		if r.arity == 2 && len(args) == 2 {
+			// Frozen binary: binary-search the sorted CSR neighbor
+			// list — no dedup map exists yet and none is needed.
+			ok = r.containsFrozenBinary(args)
+			r.store.Counters.count(r.shard^uint32(args[0]), b2i(ok))
+			return ok
+		}
+		r.ensureThawed()
+	}
 	if len(args) <= packedKeyCols {
 		_, ok = r.seen[packKey(args)]
 	} else {
@@ -871,6 +900,11 @@ func (r *Relation) Match(mask uint32, bound []symtab.Sym) []int32 {
 	if r == nil {
 		return nil
 	}
+	// Building a bound-column index reads Tuple under r.mu; thaw first so
+	// the frozen-relation materialization does not re-enter the lock.
+	if mask != 0 {
+		r.ensureThawed()
+	}
 	var h uint32
 	if len(bound) > 0 {
 		h = uint32(bound[0])
@@ -916,6 +950,43 @@ func (r *Relation) Match(mask uint32, bound []symtab.Sym) []int32 {
 
 // MatchEach calls f with every tuple matching (mask, bound).
 func (r *Relation) MatchEach(mask uint32, bound []symtab.Sym, f func(tuple []symtab.Sym)) {
+	if r == nil {
+		return
+	}
+	if mask != 0 && r.arity == 2 && r.frozen && !r.thawed.Load() {
+		// Frozen binary: a single bound column is a CSR lookup and both
+		// bound is a Contains — serving them here keeps probes on a
+		// mapped snapshot from paying the O(n) thaw + index build Match
+		// would need to hand back slot numbers.
+		var tu [2]symtab.Sym
+		h := uint32(bound[0])
+		switch mask {
+		case 1 << 0:
+			nbrs := r.fwd.Load().lookup(bound[0])
+			r.store.Counters.count(r.shard^h, int64(len(nbrs)))
+			for _, v := range nbrs {
+				tu[0], tu[1] = bound[0], v
+				f(tu[:])
+			}
+			return
+		case 1 << 1:
+			nbrs := r.rev.Load().lookup(bound[0])
+			r.store.Counters.count(r.shard^h, int64(len(nbrs)))
+			for _, u := range nbrs {
+				tu[0], tu[1] = u, bound[0]
+				f(tu[:])
+			}
+			return
+		case 1<<0 | 1<<1:
+			ok := r.containsFrozenBinary(bound)
+			r.store.Counters.count(r.shard^h, b2i(ok))
+			if ok {
+				tu[0], tu[1] = bound[0], bound[1]
+				f(tu[:])
+			}
+			return
+		}
+	}
 	for _, i := range r.Match(mask, bound) {
 		f(r.Tuple(int(i)))
 	}

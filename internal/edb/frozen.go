@@ -1,0 +1,242 @@
+package edb
+
+import (
+	"fmt"
+	"slices"
+
+	"chainlog/internal/symtab"
+)
+
+// Frozen relations.
+//
+// A frozen relation is constructed directly in the published CSR layout —
+// from a binary snapshot's mapped sections (InstallCSR / InstallFlat) or
+// from a bulk edge list (BuildBinary) — without ever materializing the
+// flat tuple storage or the dedup maps that per-tuple Insert maintains.
+// The hot probes (Successors/Predecessors, Each, Domain, binary Contains)
+// run straight off the CSR, so a store assembled from a snapshot answers
+// chain queries with zero per-tuple load cost and, for mapped sections,
+// zero copies.
+//
+// The first operation that genuinely needs the mutable representation —
+// Insert, Remove, Match with bound columns, Tuple — thaws the relation:
+// flat storage and the dedup map are built from the CSR once, O(n), and
+// the relation behaves like any other from then on. Thawing never writes
+// through an aliased (possibly read-only mapped) slice; it copies.
+
+// installRelation registers a new, empty-slotted relation shell under
+// pred, failing if the name is taken.
+func (s *Store) installRelation(pred string, arity int) (*Relation, error) {
+	if _, ok := s.rels[pred]; ok {
+		return nil, fmt.Errorf("edb: relation %s already exists", pred)
+	}
+	r := &Relation{store: s, name: pred, arity: arity, frozen: true}
+	idx := make(map[uint32]map[string][]int32)
+	r.indexes.Store(&idx)
+	r.shard = uint32(len(s.names))
+	s.rels[pred] = r
+	s.names = append(s.names, pred)
+	return r, nil
+}
+
+// InstallCSR installs pred as a frozen binary relation backed directly by
+// the given CSR arrays: the successors of u are fwdNbr[fwdOff[u]:fwdOff[u+1]]
+// and the predecessors of v are revNbr[revOff[v]:revOff[v+1]]. The slices
+// are aliased, not copied — they may point into a read-only file mapping
+// and must stay valid for the relation's lifetime (a thaw or compaction
+// stops referencing them but never writes them).
+//
+// Caller contract (validated by snapshot.Parse for mapped sections,
+// guaranteed by construction in BuildBinary): both offset arrays are
+// monotone and end at len(nbr), neighbor lists are sorted ascending
+// within each key, and the relation holds no duplicate edges.
+func (s *Store) InstallCSR(pred string, fwdOff []int32, fwdNbr []symtab.Sym, revOff []int32, revNbr []symtab.Sym) (*Relation, error) {
+	if len(fwdNbr) != len(revNbr) {
+		return nil, fmt.Errorf("edb: InstallCSR %s: forward holds %d edges, inverse %d", pred, len(fwdNbr), len(revNbr))
+	}
+	r, err := s.installRelation(pred, 2)
+	if err != nil {
+		return nil, err
+	}
+	n := len(fwdNbr)
+	r.n, r.live = n, n
+	r.ver = 1 // matches the published CSR stamps: probes stay on the warm path
+	r.fwd.Store(&csr{slots: n, ver: 1, off: fwdOff, nbr: fwdNbr})
+	r.rev.Store(&csr{slots: n, ver: 1, off: revOff, nbr: revNbr})
+	return r, nil
+}
+
+// InstallFlat installs pred as a frozen non-binary relation whose tuple
+// storage aliases flat (stride arity, count tuples). Like InstallCSR the
+// slice may point into a read-only mapping; the first mutation copies it.
+// Binary relations always install as CSR.
+func (s *Store) InstallFlat(pred string, arity, count int, flat []symtab.Sym) (*Relation, error) {
+	if arity == 2 {
+		return nil, fmt.Errorf("edb: InstallFlat %s: binary relations install as CSR", pred)
+	}
+	if len(flat) != count*arity {
+		return nil, fmt.Errorf("edb: InstallFlat %s: %d syms for %d tuples of arity %d", pred, len(flat), count, arity)
+	}
+	r, err := s.installRelation(pred, arity)
+	if err != nil {
+		return nil, err
+	}
+	r.n, r.live = count, count
+	r.ver = 1
+	r.flat = flat
+	r.aliasedFlat = true
+	return r, nil
+}
+
+// BuildBinary bulk-loads pred as a frozen binary relation from an edge
+// list using two counting-sort passes — no per-tuple hashing, no dedup
+// map. Duplicate edges are dropped (neighbor lists are sorted, so
+// duplicates are adjacent). The edges slice is scratch the caller may
+// discard; the built arrays are fresh heap memory.
+func (s *Store) BuildBinary(pred string, edges [][2]symtab.Sym) (*Relation, error) {
+	maxSym := -1
+	for _, e := range edges {
+		if int(e[0]) > maxSym {
+			maxSym = int(e[0])
+		}
+		if int(e[1]) > maxSym {
+			maxSym = int(e[1])
+		}
+	}
+	// Forward: count per source, prefix-sum, scatter, then sort and
+	// dedup each bucket in place (writes trail reads, so compacting into
+	// the same array is safe).
+	fwdOff := make([]int32, maxSym+2)
+	for _, e := range edges {
+		fwdOff[int(e[0])+1]++
+	}
+	for i := 1; i < len(fwdOff); i++ {
+		fwdOff[i] += fwdOff[i-1]
+	}
+	fwdNbr := make([]symtab.Sym, len(edges))
+	fill := make([]int32, maxSym+1)
+	for _, e := range edges {
+		u := int(e[0])
+		fwdNbr[fwdOff[u]+fill[u]] = e[1]
+		fill[u]++
+	}
+	w := int32(0)
+	packedOff := make([]int32, maxSym+2)
+	for u := 0; u <= maxSym; u++ {
+		b := fwdNbr[fwdOff[u]:fwdOff[u+1]]
+		slices.Sort(b)
+		packedOff[u] = w
+		last := symtab.Sym(-1)
+		for _, v := range b {
+			if v == last {
+				continue
+			}
+			fwdNbr[w] = v
+			last = v
+			w++
+		}
+	}
+	packedOff[maxSym+1] = w
+	fwdOff = packedOff
+	fwdNbr = fwdNbr[:w]
+	// Inverse: counting sort of the deduped forward edges by target.
+	// Scanning sources in ascending order makes each predecessor list
+	// arrive already sorted, and dedup is done.
+	revOff := make([]int32, maxSym+2)
+	for _, v := range fwdNbr {
+		revOff[int(v)+1]++
+	}
+	for i := 1; i < len(revOff); i++ {
+		revOff[i] += revOff[i-1]
+	}
+	revNbr := make([]symtab.Sym, len(fwdNbr))
+	fill = fill[:0]
+	fill = append(fill, make([]int32, maxSym+1)...)
+	for u := 0; u <= maxSym; u++ {
+		for _, v := range fwdNbr[fwdOff[u]:fwdOff[u+1]] {
+			revNbr[revOff[v]+fill[v]] = symtab.Sym(u)
+			fill[v]++
+		}
+	}
+	return s.InstallCSR(pred, fwdOff, fwdNbr, revOff, revNbr)
+}
+
+// thaw materializes the mutable representation of a frozen relation:
+// heap-owned flat storage (decoded from the CSR for binary relations,
+// copied out of the aliased slice otherwise) plus the dedup map. Safe to
+// trigger from read paths — concurrent readers either still see the
+// frozen fast paths (they have not observed thawed yet) or see the fully
+// built state through the atomic flag's ordering; the build itself is
+// serialized by r.mu.
+func (r *Relation) thaw() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.thawed.Load() {
+		return
+	}
+	if r.arity == 2 && r.flat == nil {
+		c := r.fwd.Load()
+		flat := make([]symtab.Sym, 0, 2*r.n)
+		for u := 0; u+1 < len(c.off); u++ {
+			for _, v := range c.nbr[c.off[u]:c.off[u+1]] {
+				flat = append(flat, symtab.Sym(u), v)
+			}
+		}
+		r.flat = flat
+	} else if r.aliasedFlat {
+		r.flat = append(make([]symtab.Sym, 0, len(r.flat)), r.flat...)
+		r.aliasedFlat = false
+	}
+	if r.arity <= packedKeyCols {
+		seen := make(map[packedKey]int32, r.n)
+		for i := 0; i < r.n; i++ {
+			var k packedKey
+			copy(k[:], r.flat[i*r.arity:(i+1)*r.arity])
+			seen[k] = int32(i)
+		}
+		r.seen = seen
+	} else {
+		wide := make(map[string]int32, r.n)
+		for i := 0; i < r.n; i++ {
+			wide[encode(r.flat[i*r.arity:(i+1)*r.arity])] = int32(i)
+		}
+		r.seenWide = wide
+	}
+	r.thawed.Store(true)
+}
+
+// ensureThawed is the guard mutating and slot-addressed operations go
+// through; it is a single predictable branch for ordinary relations.
+func (r *Relation) ensureThawed() {
+	if r.frozen && !r.thawed.Load() {
+		r.thaw()
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// containsFrozenBinary answers Contains on a frozen binary relation by
+// binary search over the sorted CSR neighbor list — no map, no thaw.
+func (r *Relation) containsFrozenBinary(args []symtab.Sym) bool {
+	nbrs := r.fwd.Load().lookup(args[0])
+	_, ok := slices.BinarySearch(nbrs, args[1])
+	return ok
+}
+
+// eachRawFrozenBinary iterates a frozen binary relation straight off the
+// CSR in key order, reusing one scratch tuple.
+func (r *Relation) eachRawFrozenBinary(f func(tuple []symtab.Sym)) {
+	c := r.fwd.Load()
+	var tu [2]symtab.Sym
+	for u := 0; u+1 < len(c.off); u++ {
+		for _, v := range c.nbr[c.off[u]:c.off[u+1]] {
+			tu[0], tu[1] = symtab.Sym(u), v
+			f(tu[:])
+		}
+	}
+}

@@ -161,9 +161,7 @@ func (s *Server) maybeSnapshot() {
 	}
 	go func() {
 		defer s.snapInFlight.Store(false)
-		epoch, err := s.wal.WriteSnapshot(func(w io.Writer) (uint64, error) {
-			return s.db.SnapshotFacts(w, nil)
-		})
+		epoch, err := s.writeWALSnapshot()
 		if err != nil {
 			s.cfg.Logf("chainlogd: WAL snapshot failed: %v", err)
 			return
@@ -248,14 +246,41 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleSnapshot streams the fact store as Datalog text with the
-// captured epoch in X-Chainlog-Epoch — the bootstrap source for new
-// replicas and chainlogctl.
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	_, err := s.db.SnapshotFacts(w, func(epoch uint64) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Header().Set("X-Chainlog-Epoch", strconv.FormatUint(epoch, 10))
+// writeWALSnapshot persists the store to the WAL in the configured
+// snapshot format, truncating covered segments.
+func (s *Server) writeWALSnapshot() (uint64, error) {
+	if s.cfg.SnapshotFormat == "binary" {
+		return s.wal.WriteSnapshotBinary(func(w io.Writer) (uint64, error) {
+			return s.db.SnapshotBinary(w, nil)
+		})
+	}
+	return s.wal.WriteSnapshot(func(w io.Writer) (uint64, error) {
+		return s.db.SnapshotFacts(w, nil)
 	})
+}
+
+// handleSnapshot streams the fact store with the captured epoch in
+// X-Chainlog-Epoch — the bootstrap source for new replicas and
+// chainlogctl. The default body is Datalog text; ?format=binary streams
+// the columnar binary snapshot instead, which a large-store replica
+// restores orders of magnitude faster.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	var err error
+	switch r.URL.Query().Get("format") {
+	case "", "text":
+		_, err = s.db.SnapshotFacts(w, func(epoch uint64) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Header().Set("X-Chainlog-Epoch", strconv.FormatUint(epoch, 10))
+		})
+	case "binary":
+		_, err = s.db.SnapshotBinary(w, func(epoch uint64) {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("X-Chainlog-Epoch", strconv.FormatUint(epoch, 10))
+		})
+	default:
+		writeError(w, http.StatusBadRequest, "unknown snapshot format %q (want text or binary)", r.URL.Query().Get("format"))
+		return
+	}
 	if err != nil {
 		s.cfg.Logf("chainlogd: snapshot stream: %v", err)
 	}
@@ -515,7 +540,10 @@ func (s *Server) updateLag() {
 // local WAL as a snapshot so a restart recovers locally instead of
 // re-bootstrapping.
 func (s *Server) bootstrap(ctx context.Context) error {
-	u := s.cfg.PrimaryURL + "/v1/snapshot"
+	// Ask for the binary columnar snapshot; a primary predating it
+	// ignores the parameter and streams text, which the auto-detecting
+	// restore below handles transparently.
+	u := s.cfg.PrimaryURL + "/v1/snapshot?format=binary"
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return err
@@ -532,13 +560,11 @@ func (s *Server) bootstrap(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("primary snapshot: malformed X-Chainlog-Epoch: %v", err)
 	}
-	if err := s.db.RestoreFacts(resp.Body, epoch); err != nil {
+	if err := s.db.RestoreFactsAuto(resp.Body, epoch); err != nil {
 		return err
 	}
 	if s.wal != nil {
-		if _, err := s.wal.WriteSnapshot(func(w io.Writer) (uint64, error) {
-			return s.db.SnapshotFacts(w, nil)
-		}); err != nil {
+		if _, err := s.writeWALSnapshot(); err != nil {
 			return fmt.Errorf("persisting bootstrap snapshot: %w", err)
 		}
 	}

@@ -1,0 +1,32 @@
+//go:build !linux || nommap
+
+package snapshot
+
+import (
+	"io"
+	"os"
+	"unsafe"
+)
+
+// mapFile reads f into 8-byte-aligned heap memory — the portable
+// fallback for platforms without the mmap path (or builds with the
+// nommap tag). Opening then costs one sequential read of the file, but
+// still no parsing, interning or index building.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	noop := func() error { return nil }
+	if size == 0 {
+		return nil, noop, nil
+	}
+	// A []uint64 backing guarantees the alignment the zero-copy section
+	// decoders require; a plain make([]byte) does not promise it.
+	words := make([]uint64, (size+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, nil, &os.PathError{Op: "read", Path: f.Name(), Err: err}
+	}
+	return buf, noop, nil
+}
+
+// Mapped reports whether Open memory-maps snapshots on this build
+// (false here: the read-into-heap fallback is active).
+const Mapped = false

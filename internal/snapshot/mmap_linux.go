@@ -1,0 +1,26 @@
+//go:build linux && !nommap
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only. The mapping is private (copy-on-write is
+// irrelevant — nothing writes through it) and page-aligned, which
+// satisfies the 8-byte section alignment the zero-copy decoders need.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	d, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, &os.PathError{Op: "mmap", Path: f.Name(), Err: err}
+	}
+	return d, func() error { return syscall.Munmap(d) }, nil
+}
+
+// Mapped reports whether Open memory-maps snapshots on this build
+// (true on Linux without the nommap tag).
+const Mapped = true

@@ -1,0 +1,51 @@
+package snapshot
+
+import "os"
+
+// File is an opened snapshot: the parsed, verified image plus the
+// backing memory (a file mapping on Linux, aligned heap elsewhere).
+// Close releases the mapping; every structure aliasing it — the
+// Snapshot's slices, a symtab/store built from it, and any strings the
+// symtab handed out — becomes invalid, so Close belongs at the very end
+// of the consumer's lifetime.
+type File struct {
+	*Snapshot
+	data  []byte
+	unmap func() error
+}
+
+// Open maps (or, on non-Linux/nommap builds, reads) the snapshot at
+// path and parses and checksum-verifies it. The returned File's
+// Snapshot aliases the mapping on little-endian hosts; call Close only
+// when nothing built from it is in use anymore.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, unmap, err := mapFile(f, info.Size())
+	if err != nil {
+		return nil, err
+	}
+	snap, err := Parse(data)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	return &File{Snapshot: snap, data: data, unmap: unmap}, nil
+}
+
+// Close releases the snapshot's backing memory. See File.
+func (f *File) Close() error {
+	if f.unmap == nil {
+		return nil
+	}
+	u := f.unmap
+	f.unmap = nil
+	return u()
+}

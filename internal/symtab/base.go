@@ -1,0 +1,94 @@
+package symtab
+
+import (
+	"fmt"
+	"sort"
+	"unsafe"
+)
+
+// base is a frozen block of pre-interned constant names, typically
+// aliasing the sections of a mapped binary snapshot. It resolves Syms
+// [1, n] without ever copying a name: resolution slices the shared blob,
+// and reverse lookup binary-searches an index sorted by name. A Table
+// constructed over a base starts with every snapshot symbol already
+// interned at zero build cost — this is what makes opening a snapshot
+// independent of the symbol count.
+type base struct {
+	n      int
+	blob   []byte
+	offs   []uint32 // len n+1; name of Sym(i) is blob[offs[i-1]:offs[i]]
+	sorted []int32  // the ids 1..n ordered by name
+}
+
+// name resolves a base Sym to its text, aliasing the blob. The returned
+// string is only valid while the underlying mapping is.
+func (b *base) name(s Sym) string {
+	i := int(s)
+	if i < 1 || i > b.n {
+		return fmt.Sprintf("?sym%d", i)
+	}
+	lo, hi := b.offs[i-1], b.offs[i]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&b.blob[lo], int(hi-lo))
+}
+
+// lookup finds the Sym whose text is name, by binary search over the
+// name-sorted index.
+func (b *base) lookup(name string) (Sym, bool) {
+	i := sort.Search(len(b.sorted), func(i int) bool {
+		return b.name(Sym(b.sorted[i])) >= name
+	})
+	if i < len(b.sorted) && b.name(Sym(b.sorted[i])) == name {
+		return Sym(b.sorted[i]), true
+	}
+	return None, false
+}
+
+// NewTableFromBase returns a table whose Syms 1..len(sorted) resolve
+// through the given frozen name block: blob holds the concatenated name
+// bytes, offs delimits them (offs[i-1]:offs[i] is the name of Sym(i)),
+// and sorted lists the ids ordered by name. All three slices are aliased,
+// not copied — they may point into a read-only file mapping, and must
+// stay valid and unmodified for the table's lifetime. New names intern
+// into a heap overlay above the base ids, so the table stays dense.
+//
+// The structural invariants (monotone offsets in range, index a
+// permutation of 1..n) are validated; name-sort order of the index is the
+// writer's contract and is trusted, as section checksums already guard
+// the bytes.
+func NewTableFromBase(blob []byte, offs []uint32, sorted []int32) (*Table, error) {
+	n := len(sorted)
+	if len(offs) != n+1 {
+		return nil, fmt.Errorf("symtab: base has %d offsets for %d symbols (want %d)", len(offs), n, n+1)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			return nil, fmt.Errorf("symtab: base offsets not monotone at %d", i)
+		}
+	}
+	if n > 0 && int(offs[n]) > len(blob) {
+		return nil, fmt.Errorf("symtab: base offsets exceed blob (%d > %d)", offs[n], len(blob))
+	}
+	perm := make([]bool, n+1)
+	for _, id := range sorted {
+		if id < 1 || int(id) > n || perm[id] {
+			return nil, fmt.Errorf("symtab: base sort index is not a permutation of 1..%d", n)
+		}
+		perm[id] = true
+	}
+	t := &Table{
+		byName:  make(map[string]Sym),
+		byTuple: make(map[string]Sym),
+		base:    &base{n: n, blob: blob, offs: offs, sorted: sorted},
+		baseLen: n + 1, // ids [0, n]: the sentinel plus the base names
+	}
+	t.size.Store(int64(t.baseLen))
+	return t, nil
+}
+
+// BaseLen returns the number of Syms resolved by the table's frozen base
+// (including the sentinel), or 0 for a table built empty. Syms below
+// BaseLen came from the snapshot; Syms at or above it were interned live.
+func (t *Table) BaseLen() int { return t.baseLen }

@@ -29,14 +29,23 @@ const None Sym = 0
 // from many goroutines at once.
 type Table struct {
 	mu     sync.RWMutex
-	size   atomic.Int64 // len(names); read lock-free by Len
+	size   atomic.Int64 // baseLen+len(names); read lock-free by Len
 	byName map[string]Sym
-	names  []string // names[i] is the text of Sym(i)
+	names  []string // names[i] is the text of Sym(baseLen+i)
 
 	// Tuple terms: a tuple (s1,...,sk) is interned under a key derived
-	// from its elements. elems[i] is non-nil iff Sym(i) is a tuple term.
+	// from its elements. elems[i] is non-nil iff Sym(baseLen+i) is a
+	// tuple term.
 	byTuple map[string]Sym
 	elems   [][]Sym
+
+	// base, when non-nil, resolves Syms [1, baseLen-1] from a frozen
+	// name block (see NewTableFromBase); the map/slice fields above then
+	// hold only the overlay of names interned after construction. Both
+	// fields are immutable once the table is built, so reads need no
+	// lock. A table built by NewTable has baseLen 0 and names[0] = "∅".
+	base    *base
+	baseLen int
 }
 
 // NewTable returns an empty symbol table. Index 0 is reserved for None.
@@ -53,6 +62,11 @@ func NewTable() *Table {
 
 // Intern returns the Sym for name, creating it if needed.
 func (t *Table) Intern(name string) Sym {
+	if t.base != nil {
+		if s, ok := t.base.lookup(name); ok {
+			return s
+		}
+	}
 	t.mu.RLock()
 	s, ok := t.byName[name]
 	t.mu.RUnlock()
@@ -64,16 +78,21 @@ func (t *Table) Intern(name string) Sym {
 	if s, ok := t.byName[name]; ok {
 		return s
 	}
-	s = Sym(len(t.names))
+	s = Sym(t.baseLen + len(t.names))
 	t.byName[name] = s
 	t.names = append(t.names, name)
 	t.elems = append(t.elems, nil)
-	t.size.Store(int64(len(t.names)))
+	t.size.Store(int64(t.baseLen + len(t.names)))
 	return s
 }
 
 // Lookup returns the Sym for name without creating it.
 func (t *Table) Lookup(name string) (Sym, bool) {
+	if t.base != nil {
+		if s, ok := t.base.lookup(name); ok {
+			return s, true
+		}
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	s, ok := t.byName[name]
@@ -96,32 +115,41 @@ func (t *Table) InternTuple(elems []Sym) Sym {
 	if s, ok := t.byTuple[key]; ok {
 		return s
 	}
-	s = Sym(len(t.names))
+	s = Sym(t.baseLen + len(t.names))
 	t.byTuple[key] = s
 	cp := make([]Sym, len(elems))
 	copy(cp, elems)
 	t.names = append(t.names, "")
 	t.elems = append(t.elems, cp)
-	t.size.Store(int64(len(t.names)))
+	t.size.Store(int64(t.baseLen + len(t.names)))
 	return s
 }
 
-// IsTuple reports whether s is a tuple term.
+// IsTuple reports whether s is a tuple term. Base symbols are always
+// plain constants: the snapshot writer refuses tuple terms.
 func (t *Table) IsTuple(s Sym) bool {
+	if int(s) < t.baseLen {
+		return false
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return int(s) < len(t.elems) && t.elems[s] != nil
+	i := int(s) - t.baseLen
+	return i < len(t.elems) && t.elems[i] != nil
 }
 
 // TupleElems returns the elements of a tuple term, or nil if s is not one.
 // The returned slice is immutable once interned and must not be modified.
 func (t *Table) TupleElems(s Sym) []Sym {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if int(s) >= len(t.elems) {
+	if int(s) < t.baseLen {
 		return nil
 	}
-	return t.elems[s]
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i := int(s) - t.baseLen
+	if i >= len(t.elems) {
+		return nil
+	}
+	return t.elems[i]
 }
 
 // Name renders s back to text. Tuple terms render as t(e1,...,ek).
@@ -141,17 +169,21 @@ func (t *Table) name(s Sym) string {
 	if s == None {
 		return "∅"
 	}
-	if int(s) >= len(t.names) {
+	if int(s) < t.baseLen {
+		return t.base.name(s)
+	}
+	i := int(s) - t.baseLen
+	if i >= len(t.names) {
 		return fmt.Sprintf("?sym%d", int(s))
 	}
-	if e := t.elems[s]; e != nil {
+	if e := t.elems[i]; e != nil {
 		parts := make([]string, len(e))
 		for i, x := range e {
 			parts[i] = t.name(x)
 		}
 		return "t(" + strings.Join(parts, ",") + ")"
 	}
-	return t.names[s]
+	return t.names[i]
 }
 
 // Len returns the number of interned symbols including the sentinel. It

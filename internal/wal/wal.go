@@ -12,8 +12,9 @@
 //   - segments rotate at Options.SegmentBytes and the fsync policy is a
 //     flag (SyncAlways per append, SyncRotate only at segment
 //     boundaries and snapshots);
-//   - a snapshot (snap-<epoch>.dl, the DumpFacts text of the store at
-//     that epoch) is written atomically — temp file, fsync, rename,
+//   - a snapshot (snap-<epoch>.dl holding the DumpFacts text, or
+//     snap-<epoch>.bin holding the binary columnar form, of the store
+//     at that epoch) is written atomically — temp file, fsync, rename,
 //     directory fsync — and allows every segment wholly at or below its
 //     epoch to be deleted;
 //   - Open tolerates a torn tail: a crash mid-append leaves a partial
@@ -112,7 +113,8 @@ const (
 	segPrefix      = "wal-"
 	segSuffix      = ".seg"
 	snapPrefix     = "snap-"
-	snapSuffix     = ".dl"
+	snapSuffix     = ".dl"  // text snapshot (DumpFacts format)
+	snapSuffixBin  = ".bin" // binary columnar snapshot (SnapshotBinary format)
 )
 
 // segment is one on-disk log file. first is the epoch of its first
@@ -188,12 +190,19 @@ func (l *Log) scan() error {
 				return fmt.Errorf("wal: malformed segment name %s", name)
 			}
 			l.segs = append(l.segs, segment{path: filepath.Join(l.opts.Dir, name), first: first})
-		case strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix):
+		case strings.HasPrefix(name, snapPrefix) && (strings.HasSuffix(name, snapSuffix) || strings.HasSuffix(name, snapSuffixBin)):
+			ext := snapSuffix
+			if strings.HasSuffix(name, snapSuffixBin) {
+				ext = snapSuffixBin
+			}
 			var epoch uint64
-			if _, err := fmt.Sscanf(name, snapPrefix+"%016x"+snapSuffix, &epoch); err != nil {
+			if _, err := fmt.Sscanf(name, snapPrefix+"%016x"+ext, &epoch); err != nil {
 				return fmt.Errorf("wal: malformed snapshot name %s", name)
 			}
-			if epoch >= l.snapEpoch {
+			// Strictly newer epochs win; at an equal epoch the binary form
+			// is preferred (same content, cheaper to restore).
+			if epoch > l.snapEpoch || l.snapPath == "" ||
+				(epoch == l.snapEpoch && ext == snapSuffixBin) {
 				l.snapEpoch = epoch
 				l.snapPath = filepath.Join(l.opts.Dir, name)
 			}
@@ -584,6 +593,17 @@ func (l *Log) ReadFrom(from uint64, fn func(Record) error) error {
 // snapshots are removed last, so a crash anywhere leaves a valid
 // recovery chain on disk.
 func (l *Log) WriteSnapshot(write func(io.Writer) (uint64, error)) (uint64, error) {
+	return l.writeSnapshotExt(snapSuffix, write)
+}
+
+// WriteSnapshotBinary is WriteSnapshot for binary columnar snapshots:
+// same atomicity and truncation, file named snap-<epoch>.bin. write
+// should stream chainlog.DB.SnapshotBinary.
+func (l *Log) WriteSnapshotBinary(write func(io.Writer) (uint64, error)) (uint64, error) {
+	return l.writeSnapshotExt(snapSuffixBin, write)
+}
+
+func (l *Log) writeSnapshotExt(ext string, write func(io.Writer) (uint64, error)) (uint64, error) {
 	tmp, err := os.CreateTemp(l.opts.Dir, snapPrefix+"*.tmp")
 	if err != nil {
 		return 0, err
@@ -601,7 +621,7 @@ func (l *Log) WriteSnapshot(write func(io.Writer) (uint64, error)) (uint64, erro
 	if err := tmp.Close(); err != nil {
 		return 0, err
 	}
-	final := filepath.Join(l.opts.Dir, fmt.Sprintf(snapPrefix+"%016x"+snapSuffix, epoch))
+	final := filepath.Join(l.opts.Dir, fmt.Sprintf(snapPrefix+"%016x"+ext, epoch))
 	if err := os.Rename(tmp.Name(), final); err != nil {
 		return 0, err
 	}

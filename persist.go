@@ -42,7 +42,17 @@ func (db *DB) dumpFactsLocked(w io.Writer) error {
 				if j > 0 {
 					bw.WriteByte(',')
 				}
-				bw.WriteString(ast.C(s).Render(db.st))
+				// Stream the name straight into the buffer: Render would
+				// build an intermediate string per quoted constant, which
+				// dominates dump cost on large stores.
+				cname := db.st.Name(s)
+				if ast.ConstNeedsQuoting(cname) {
+					bw.WriteByte('\'')
+					bw.WriteString(cname)
+					bw.WriteByte('\'')
+				} else {
+					bw.WriteString(cname)
+				}
 			}
 			if _, err := bw.WriteString(").\n"); err != nil {
 				werr = err

@@ -1,0 +1,224 @@
+package chainlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"chainlog/internal/ast"
+	"chainlog/internal/edb"
+	"chainlog/internal/snapshot"
+	"chainlog/internal/symtab"
+)
+
+// SnapshotMagic is the 8-byte prefix identifying a binary snapshot;
+// callers sniff it to pick between the text and binary restore paths.
+const SnapshotMagic = snapshot.Magic
+
+// SnapshotBinary writes the extensional database as a binary columnar
+// snapshot and returns the fact epoch the content captures, both under
+// one read lock — the binary sibling of SnapshotFacts with the same
+// begin-callback contract. The format is versioned, checksummed and
+// mmap-able; see OpenSnapshot.
+func (db *DB) SnapshotBinary(w io.Writer, begin func(epoch uint64)) (uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if begin != nil {
+		begin(db.factEpoch)
+	}
+	if err := snapshot.Write(w, db.st, db.store, db.factEpoch); err != nil {
+		return 0, err
+	}
+	return db.factEpoch, nil
+}
+
+// WriteSnapshot writes a binary snapshot to path crash-safely, with the
+// same temp-file + fsync + rename discipline as SaveFacts: a crash
+// leaves either the old complete file or the new complete file, never a
+// torn one.
+func (db *DB) WriteSnapshot(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := db.SnapshotBinary(bw, nil); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// OpenSnapshot memory-maps the binary snapshot at path and returns a DB
+// serving it with zero-copy cold start: after the one sequential
+// checksum pass, the symbol table and every relation's CSR adjacency
+// alias the mapping directly — no parsing, no interning, no index
+// building, and the page cache (not the heap) holds the data. The fact
+// epoch is the one the snapshot was taken at.
+//
+// Rules are loaded on top with LoadProgram as usual. The first mutation
+// of a mapped relation transparently thaws it into ordinary heap form;
+// reads never do. Call Close when the DB is no longer in use to release
+// the mapping — not before, since live queries read through it.
+func OpenSnapshot(path string) (*DB, error) {
+	f, err := snapshot.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, store, err := f.Build()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	db := newDBAt(st, store, f.Epoch)
+	db.snap = f
+	return db, nil
+}
+
+// newDBAt assembles a DB around an existing symtab/store pair at the
+// given fact epoch.
+func newDBAt(st *symtab.Table, store *edb.Store, epoch uint64) *DB {
+	if epoch == 0 {
+		epoch = 1
+	}
+	return &DB{st: st, store: store, prog: &ast.Program{}, ruleEpoch: 1, factEpoch: epoch}
+}
+
+// Close releases resources a constructor attached to the DB — today the
+// snapshot mapping behind OpenSnapshot. It is a no-op for DBs built any
+// other way, and idempotent. The DB must not be used afterwards.
+func (db *DB) Close() error {
+	if db.snap == nil {
+		return nil
+	}
+	s := db.snap
+	db.snap = nil
+	return s.Close()
+}
+
+// RestoreFactsBinary replaces the extensional database with the binary
+// snapshot read from r and sets the fact epoch to epoch — the binary
+// sibling of RestoreFacts, used when a replica bootstraps from a
+// primary's binary snapshot stream. Unlike OpenSnapshot, the decoded
+// facts are re-interned into the DB's existing symbol table (prepared
+// plans and rules keep their symbols) and the store is heap-owned, so
+// the input buffer is not retained.
+func (db *DB) RestoreFactsBinary(r io.Reader, epoch uint64) error {
+	data, err := readAligned(r)
+	if err != nil {
+		return err
+	}
+	snap, err := snapshot.Parse(data)
+	if err != nil {
+		return err
+	}
+	// Remap snapshot symbols into the live table. SymName copies, so the
+	// table does not pin data.
+	remap := make([]symtab.Sym, snap.SymCount+1)
+	for i := 1; i <= snap.SymCount; i++ {
+		remap[i] = db.st.Intern(snap.SymName(symtab.Sym(i)))
+	}
+	store := edb.NewStore(db.st)
+	for i := range snap.Rels {
+		rel := &snap.Rels[i]
+		if rel.Arity == 2 {
+			edges := make([][2]symtab.Sym, 0, rel.Count)
+			for u := 0; u <= snap.SymCount; u++ {
+				for _, v := range rel.FwdNbr[rel.FwdOff[u]:rel.FwdOff[u+1]] {
+					edges = append(edges, [2]symtab.Sym{remap[u], remap[v]})
+				}
+			}
+			if _, err := store.BuildBinary(rel.Name, edges); err != nil {
+				return err
+			}
+			continue
+		}
+		flat := make([]symtab.Sym, len(rel.Flat))
+		for j, s := range rel.Flat {
+			flat[j] = remap[s]
+		}
+		if _, err := store.InstallFlat(rel.Name, rel.Arity, rel.Count, flat); err != nil {
+			return err
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.store = store
+	db.bumpRuleEpoch()
+	db.factEpoch = epoch
+	return nil
+}
+
+// RestoreFactsAuto restores from r in whichever snapshot format it
+// holds, sniffing the binary magic and falling back to the text fact
+// parser — the restore path for callers that accept either, like WAL
+// recovery and replica bootstrap.
+func (db *DB) RestoreFactsAuto(r io.Reader, epoch uint64) error {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(SnapshotMagic))
+	if err != nil && len(head) == 0 {
+		return fmt.Errorf("chainlog: empty snapshot: %w", err)
+	}
+	if len(head) == len(SnapshotMagic) && string(head) == SnapshotMagic {
+		return db.RestoreFactsBinary(br, epoch)
+	}
+	return db.RestoreFacts(br, epoch)
+}
+
+// IsSnapshotFile reports whether the file at path begins with the
+// binary snapshot magic.
+func IsSnapshotFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var head [len(SnapshotMagic)]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return false, nil
+		}
+		return false, err
+	}
+	return string(head[:]) == SnapshotMagic, nil
+}
+
+// readAligned reads all of r into 8-byte-aligned memory, which the
+// snapshot parser's zero-copy section decoding requires.
+func readAligned(r io.Reader) ([]byte, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	words := make([]uint64, (len(raw)+7)/8)
+	buf := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(raw))
+	copy(buf, raw)
+	return buf, nil
+}

@@ -6,14 +6,17 @@
 # X-Chainlog-Min-Epoch and fail the run on any stale read), kill -9 one
 # replica mid-run, restart it on its surviving WAL, and assert the whole
 # cluster converges to the primary's epoch with byte-identical query
-# answers. Finishes with a manual failover: kill the primary, promote a
-# replica, and write to it. Non-zero exit on any mismatch.
+# answers. Then a fresh replica joins after the primary's log has been
+# truncated by binary snapshots, forcing the 410 -> binary-snapshot
+# bootstrap path, and must also converge byte-identically. Finishes with
+# a manual failover: kill the primary, promote a replica, and write to
+# it. Non-zero exit on any mismatch.
 #
 # Usage:
 #   scripts/cluster_e2e.sh
 #
 # Environment:
-#   CLUSTER_BASE_PORT   first of three consecutive ports (default 8094)
+#   CLUSTER_BASE_PORT   first of four consecutive ports (default 8094)
 #   CLUSTER_LOAD_SECS   loadgen duration in seconds (default 6)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,17 +26,19 @@ LOAD_SECS="${CLUSTER_LOAD_SECS:-6}"
 P_PORT=$BASE_PORT
 R1_PORT=$((BASE_PORT + 1))
 R2_PORT=$((BASE_PORT + 2))
+R3_PORT=$((BASE_PORT + 3))
 P_URL="http://127.0.0.1:$P_PORT"
 R1_URL="http://127.0.0.1:$R1_PORT"
 R2_URL="http://127.0.0.1:$R2_PORT"
+R3_URL="http://127.0.0.1:$R3_PORT"
 PROGRAM=examples/serving/family.dl
 
 TMP="$(mktemp -d)"
-P_PID="" R1_PID="" R2_PID=""
+P_PID="" R1_PID="" R2_PID="" R3_PID=""
 FAILURES=0
 
 cleanup() {
-  for pid in "$P_PID" "$R1_PID" "$R2_PID"; do
+  for pid in "$P_PID" "$R1_PID" "$R2_PID" "$R3_PID"; do
     if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
       kill -9 "$pid" 2>/dev/null || true
     fi
@@ -80,7 +85,11 @@ fact_epoch() {
   curl -sf "$1/v1/status" | grep -o '"fact_epoch":[0-9]*' | head -1 | cut -d: -f2
 }
 
-P_PID=$(boot_node primary "$P_PORT" "$TMP/wal-p")
+# The primary writes binary columnar snapshots with tiny segment and
+# snapshot thresholds, so the run's mutations rotate and truncate the
+# log — the precondition for the late-joiner binary bootstrap below.
+P_PID=$(boot_node primary "$P_PORT" "$TMP/wal-p" \
+  -snapshot-format binary -segment-bytes 1024 -snapshot-bytes 2048)
 wait_healthy "$P_URL" primary
 R1_PID=$(boot_node replica1 "$R1_PORT" "$TMP/wal-r1" -role replica -primary "$P_URL")
 R2_PID=$(boot_node replica2 "$R2_PORT" "$TMP/wal-r2" -role replica -primary "$P_URL")
@@ -153,6 +162,61 @@ for q in 'ancestor(bart, Y)' 'ancestor(X, abe)' 'ancestor(homer, Y)' \
     fail "answers diverge for '$q': primary=$(cat "$TMP/ans-p") r1=$(cat "$TMP/ans-r1") r2=$(cat "$TMP/ans-r2")"
   else
     ok "byte-identical answers for '$q'"
+  fi
+done
+
+# Binary snapshot endpoint: the body must carry the snapshot magic.
+curl -sf "$P_URL/v1/snapshot?format=binary" -o "$TMP/snap.bin"
+if [ "$(head -c8 "$TMP/snap.bin")" != "CLOGSNP1" ]; then
+  fail "/v1/snapshot?format=binary did not return a binary snapshot"
+else
+  ok "binary snapshot endpoint serves the columnar format"
+fi
+
+# chainlogctl bootstrap must install the primary's snapshot as a .bin
+# file in a fresh WAL directory.
+"$TMP/chainlogctl" bootstrap -from "$P_URL" -wal-dir "$TMP/wal-ctl"
+if ! ls "$TMP/wal-ctl"/snap-*.bin >/dev/null 2>&1; then
+  fail "chainlogctl bootstrap did not produce a binary snapshot ($(ls "$TMP/wal-ctl"))"
+else
+  ok "chainlogctl bootstrap installed a binary snapshot"
+fi
+
+# Late joiner: the primary's early segments are gone (truncated by its
+# binary snapshots), so a fresh replica's replication request gets 410
+# and it must bootstrap from the binary snapshot stream, then converge.
+R3_PID=$(boot_node replica3 "$R3_PORT" "$TMP/wal-r3" \
+  -role replica -primary "$P_URL" -snapshot-format binary)
+wait_healthy "$R3_URL" replica3
+WANT=$(fact_epoch "$P_URL")
+for i in $(seq 1 100); do
+  E3=$(fact_epoch "$R3_URL" || echo -1)
+  if [ "$E3" = "$WANT" ]; then break; fi
+  if [ "$i" = 100 ]; then
+    fail "late joiner never converged: primary=$WANT replica3=$E3"
+    tail -20 "$TMP/replica3.log" >&2 || true
+  fi
+  sleep 0.1
+done
+if ! grep -q "bootstrapped from" "$TMP/replica3.log"; then
+  fail "late joiner did not take the snapshot bootstrap path"
+else
+  ok "late joiner bootstrapped from the primary's snapshot"
+fi
+if ! ls "$TMP/wal-r3"/snap-*.bin >/dev/null 2>&1; then
+  fail "late joiner did not persist its bootstrap snapshot as binary"
+else
+  ok "late joiner persisted a binary bootstrap snapshot"
+fi
+for q in 'ancestor(bart, Y)' 'ancestor(X, abe)' 'loadgen_edge(X, Y)'; do
+  curl -sS -X POST -H 'Content-Type: application/json' \
+    -d "{\"query\": \"$q\"}" "$P_URL/v1/query" >"$TMP/ans-p"
+  curl -sS -X POST -H 'Content-Type: application/json' \
+    -d "{\"query\": \"$q\"}" "$R3_URL/v1/query" >"$TMP/ans-r3"
+  if ! cmp -s "$TMP/ans-p" "$TMP/ans-r3"; then
+    fail "late joiner diverges for '$q': primary=$(cat "$TMP/ans-p") r3=$(cat "$TMP/ans-r3")"
+  else
+    ok "late joiner byte-identical for '$q'"
   fi
 done
 
