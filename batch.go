@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync/atomic"
 
 	"chainlog/internal/ast"
 	"chainlog/internal/chaineval"
+	"chainlog/internal/edb"
 	"chainlog/internal/parser"
 	"chainlog/internal/symtab"
 )
@@ -109,12 +111,20 @@ func (p *Prepared) RunSymsBatchCtx(ctx context.Context, argSets [][]symtab.Sym) 
 		out[k], errs[k] = p.runMaterialized(ctx, pl, argSets[k])
 	}
 	if W := min(p.batchWorkers(), len(argSets)); W > 1 {
+		// Longest-processing-time order: start the bindings with the
+		// largest estimated cost (adjacency degree of their constants)
+		// first, so an expensive straggler is not dispatched last to run
+		// alone while the other workers drain. Answers keep input order.
+		order := p.bindingOrderLocked(argSets)
 		var cursor atomic.Int64
 		chaineval.FanOut(W, func(int) {
 			for {
 				k := int(cursor.Add(1)) - 1
 				if k >= len(argSets) {
 					return
+				}
+				if order != nil {
+					k = order[k]
 				}
 				runOne(k)
 			}
@@ -146,11 +156,48 @@ func (p *Prepared) batchWorkers() int {
 	return w
 }
 
+// bindingOrderLocked ranks a batch's parameter vectors by estimated
+// per-binding cost, most expensive first — the degree sum of each
+// vector's constants over the store's binary adjacency indexes, a
+// selectivity estimate read without counting as retrievals. Returns nil
+// (input order) for small batches or parameterless plans, where the
+// probes cost more than they schedule. The caller holds db.mu (shared).
+func (p *Prepared) bindingOrderLocked(argSets [][]symtab.Sym) []int {
+	const minBatch = 8
+	if p.nparams == 0 || len(argSets) < minBatch {
+		return nil
+	}
+	db := p.db
+	var rels []*edb.Relation
+	for _, name := range db.store.Relations() {
+		if r := db.store.Relation(name); r != nil && r.Arity() == 2 {
+			rels = append(rels, r)
+		}
+	}
+	if len(rels) == 0 {
+		return nil
+	}
+	cost := make([]int, len(argSets))
+	for i, args := range argSets {
+		for _, a := range args {
+			for _, r := range rels {
+				cost[i] += len(r.SuccessorsRaw(a)) + len(r.PredecessorsRaw(a))
+			}
+		}
+	}
+	order := make([]int, len(argSets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return cost[order[x]] > cost[order[y]] })
+	return order
+}
+
 // finishAnswer applies the Answer post-processing runMaterialized does
 // for single runs: strategy stamp, variable names, boolean collapse and
 // row ordering.
 func (p *Prepared) finishAnswer(ans *Answer) {
-	ans.Stats.Strategy = p.opts.Strategy
+	ans.Stats.Strategy = Strategy(p.effective.Load())
 	ans.Vars = append([]string(nil), p.vars...)
 	if len(ans.Vars) == 0 {
 		ans.True = len(ans.Rows) > 0

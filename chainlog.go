@@ -74,12 +74,14 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"chainlog/internal/analysis"
 	"chainlog/internal/ast"
 	"chainlog/internal/edb"
 	"chainlog/internal/parser"
 	"chainlog/internal/snapshot"
+	"chainlog/internal/stats"
 	"chainlog/internal/symtab"
 )
 
@@ -121,6 +123,20 @@ type DB struct {
 	// plans is the prepared-plan cache behind Query/QueryOpts.
 	plans planCache
 
+	// statsC caches the per-relation statistics snapshots behind the
+	// cost-based optimizer, validated by relation version. reopts counts
+	// plan re-optimizations across all prepared plans (the
+	// chainlog_plan_reoptimizations_total metric).
+	statsC stats.Collector
+	reopts atomic.Uint64
+
+	// probeMu guards the memoized route-availability probes (which
+	// compile-check the chain and magic routes for a template); they
+	// depend only on the rules, so the cache is keyed by rule epoch.
+	probeMu    sync.Mutex
+	probeCache map[string]routeProbe
+	probeEpoch uint64
+
 	// snap, when the DB was built by OpenSnapshot, owns the mapped
 	// snapshot backing the symbol table and store. Close releases it.
 	snap *snapshot.File
@@ -140,6 +156,9 @@ func NewDB() *DB {
 func (db *DB) bumpRuleEpoch() {
 	db.ruleEpoch++
 	db.plans.clear()
+	// A store swap can re-bind relation names to different relations, so
+	// version-validated statistics snapshots must go too.
+	db.statsC.Invalidate()
 }
 
 // bumpFactEpoch records a fact-only mutation; the caller must hold db.mu

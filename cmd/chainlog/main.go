@@ -3,7 +3,7 @@
 // Usage:
 //
 //	chainlog -program prog.dl [-facts facts.dl] -query 'sg(john, Y)' \
-//	         [-strategy chain|naive|seminaive|magic|counting|hn|hunt] \
+//	         [-strategy auto|chain|naive|seminaive|magic|counting|hn|hunt] \
 //	         [-stats] [-explain] [-max-iterations N]
 //
 // The program file holds rules and (optionally) facts in the syntax
@@ -52,7 +52,7 @@ func run() error {
 	programPath := flag.String("program", "", "path to the Datalog program (rules and facts)")
 	factsPath := flag.String("facts", "", "optional path to an additional facts file")
 	queryText := flag.String("query", "", "query literal, e.g. 'sg(john, Y)'")
-	strategyName := flag.String("strategy", "chain", "evaluation strategy: chain, naive, seminaive, magic, counting, reverse-counting, hn, hunt")
+	strategyName := flag.String("strategy", "auto", "evaluation strategy: auto (cost-based optimizer), chain, naive, seminaive, magic, counting, reverse-counting, hn, hunt")
 	stats := flag.Bool("stats", false, "print evaluation statistics")
 	explain := flag.Bool("explain", false, "print classification and compiled form instead of evaluating")
 	maxIter := flag.Int("max-iterations", 0, "cap on main-loop iterations (0 = bounded only by the cyclic guard)")

@@ -388,8 +388,10 @@ func (s *diffState) query() {
 			s.t.Fatalf("after %d mutations (%s): %s [stream]\n got %v\nwant %v", s.mutation, s.tmpl.name, text, rows, wantRows)
 		}
 	default:
-		// A bottom-up baseline strategy for cross-strategy agreement.
-		strat := []Strategy{Seminaive, Magic}[s.c.intn(2)]
+		// A bottom-up baseline strategy for cross-strategy agreement —
+		// plus Auto, so the fuzzer also proves the cost-based optimizer
+		// can never change an answer, only a route.
+		strat := []Strategy{Seminaive, Magic, Auto}[s.c.intn(3)]
 		ans, err := s.db.QueryOpts(text, Options{Strategy: strat})
 		if err != nil {
 			s.t.Fatalf("QueryOpts(%s, %v): %v", text, strat, err)

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"chainlog/internal/adorn"
+	"chainlog/internal/analysis"
+	"chainlog/internal/ast"
 	"chainlog/internal/automaton"
 	"chainlog/internal/binchain"
 	"chainlog/internal/equations"
@@ -15,62 +17,97 @@ import (
 // given — the compilation route that query would take: the Lemma 1
 // equation system and its automaton for direct binary-chain queries, or
 // the adorned program and generated binary-chain program for queries
-// routed through the Section 4 transformation.
+// routed through the Section 4 transformation. Derived-predicate queries
+// additionally get a "plan choice" section showing the cost-based
+// optimizer's decision: the chosen strategy, its estimated cost, and the
+// rejected alternatives. Explain uses default options (Auto strategy);
+// use ExplainOpts to see how pinned options change the choice.
 func (db *DB) Explain(query string) (string, error) {
+	return db.ExplainOpts(query, Options{})
+}
+
+// ExplainOpts is Explain under explicit options. A pinned
+// Options.Strategy is reported as such: the optimizer is bypassed
+// entirely, not merely outvoted.
+func (db *DB) ExplainOpts(query string, opts Options) (string, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var b strings.Builder
 	info := db.analysisLocked()
 
-	if info.BinaryChainProgram() {
-		sys, err := equations.Transform(db.prog)
+	var q ast.Query
+	if query != "" {
+		var err error
+		q, err = parser.ParseQuery(query, db.st)
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "Lemma 1 equation system (%d loop iterations):\n%s\n", sys.Iterations, sys.Render())
+	}
+
+	if err := db.explainRouteLocked(&b, info, query, q); err != nil {
+		return "", err
+	}
+
+	if query != "" && info.Derived[q.Pred] {
+		b.WriteString("\nplan choice:\n")
+		if opts.Strategy != Auto {
+			fmt.Fprintf(&b, "strategy %s pinned by Options.Strategy (optimizer bypassed)\n", opts.Strategy)
+		} else if opts.Strict {
+			b.WriteString("chain route required by Options.Strict (optimizer bypassed)\n")
+		} else {
+			tmpl, _ := templateize(q)
+			b.WriteString(db.optimizeLocked(tmpl, opts, nil).Describe())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
+}
+
+// explainRouteLocked renders the compilation-route portion of Explain.
+// The caller must hold db.mu (shared suffices) and have parsed q from
+// query when query is non-empty.
+func (db *DB) explainRouteLocked(b *strings.Builder, info *analysis.Info, query string, q ast.Query) error {
+	if info.BinaryChainProgram() {
+		sys, err := equations.Transform(db.prog)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "Lemma 1 equation system (%d loop iterations):\n%s\n", sys.Iterations, sys.Render())
 		if query != "" {
-			q, err := parser.ParseQuery(query, db.st)
-			if err != nil {
-				return "", err
-			}
 			if e, ok := sys.EquationFor(q.Pred); ok && (q.Adornment() == "bf" || q.Adornment() == "fb" || q.Adornment() == "ff") {
-				fmt.Fprintf(&b, "automaton M(e_%s):\n%s\n", q.Pred, automaton.Compile(e).String())
-				return b.String(), nil
+				fmt.Fprintf(b, "automaton M(e_%s):\n%s\n", q.Pred, automaton.Compile(e).String())
+				return nil
 			}
 		}
 	}
 
 	if query == "" {
-		return b.String(), nil
-	}
-	q, err := parser.ParseQuery(query, db.st)
-	if err != nil {
-		return "", err
+		return nil
 	}
 	if !info.Derived[q.Pred] {
-		fmt.Fprintf(&b, "%s is an extensional predicate; the query is a direct index lookup.\n", q.Pred)
-		return b.String(), nil
+		fmt.Fprintf(b, "%s is an extensional predicate; the query is a direct index lookup.\n", q.Pred)
+		return nil
 	}
 
 	// Section 4 route.
 	ap, err := adorn.Adorn(db.prog, q)
 	if err != nil {
-		return "", err
+		return err
 	}
-	fmt.Fprintf(&b, "adorned program (query %s):\n%s", ap.Query, ap.Render())
+	fmt.Fprintf(b, "adorned program (query %s):\n%s", ap.Query, ap.Render())
 	if err := ap.ChainCheck(); err != nil {
-		fmt.Fprintf(&b, "NOT a chain program: %v\n", err)
-		return b.String(), nil
+		fmt.Fprintf(b, "NOT a chain program: %v\n", err)
+		return nil
 	}
 	tr, err := binchain.FromAdorned(ap, db.store)
 	if err != nil {
-		return "", err
+		return err
 	}
-	fmt.Fprintf(&b, "\nbinary-chain program:\n%s", tr.Describe())
+	fmt.Fprintf(b, "\nbinary-chain program:\n%s", tr.Describe())
 	sys, err := equations.Transform(tr.Program)
 	if err != nil {
-		return "", err
+		return err
 	}
-	fmt.Fprintf(&b, "\nequations:\n%s", sys.Render())
-	return b.String(), nil
+	fmt.Fprintf(b, "\nequations:\n%s", sys.Render())
+	return nil
 }

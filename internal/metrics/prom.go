@@ -99,6 +99,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindGaugeFunc
+	kindCounterFunc
 )
 
 // series is one exposed time series: a family member with a fixed label
@@ -212,6 +213,15 @@ func (r *Registry) GaugeFunc(name, help, labels string, f func() float64) {
 	r.familyFor(name, help, kindGaugeFunc).seriesFor(labels).f = f
 }
 
+// CounterFunc registers a counter series whose value is read at scrape
+// time — for monotonic totals another subsystem already tracks (the
+// engine's plan re-optimization count).
+func (r *Registry) CounterFunc(name, help, labels string, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.familyFor(name, help, kindCounterFunc).seriesFor(labels).f = f
+}
+
 // Histogram registers (or fetches) a histogram series; nil bounds means
 // DefBuckets.
 func (r *Registry) Histogram(name, help, labels string, bounds []float64) *Histogram {
@@ -261,7 +271,7 @@ func (r *Registry) renderLocked(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s%s %d\n", name, labels, s.c.Value())
 			case kindGauge:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", name, labels, s.g.Value())
-			case kindGaugeFunc:
+			case kindGaugeFunc, kindCounterFunc:
 				_, err = fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(s.f()))
 			case kindHistogram:
 				err = writeHistogram(w, name, labels, s.h)

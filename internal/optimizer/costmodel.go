@@ -1,0 +1,83 @@
+package optimizer
+
+// The cost model's coefficients, centralized so the plan-choice
+// regression gate (testdata/planchoice + TestPlanChoiceCorpus) is
+// falsifiable: perturbing any constant here far enough flips a corpus
+// decision and fails the gate, exactly like editing a bench baseline.
+// Units are abstract "retrieval-equivalents" — one warm CSR probe plus
+// its bookkeeping ≈ 1.0 — calibrated against the benchmark suite, not
+// wall-clock on any particular machine.
+var (
+	// CostChainNode is the charge per (state, term) node the chain
+	// traversal constructs: a visited-set test, a CSR probe and the
+	// frontier push.
+	CostChainNode = 1.0
+
+	// CostChainEdge is the charge per neighbor retrieved on the
+	// traversal frontier (the FactsConsulted unit).
+	CostChainEdge = 1.0
+
+	// CostChainSeed is the per-seed restart overhead of an all-free
+	// chain query, which traverses once per active-domain constant.
+	CostChainSeed = 4.0
+
+	// CostSeminaiveFact is the charge per fact the bottom-up fixpoint
+	// consults or derives: hash-join probes and dedup dominate, so it is
+	// a small multiple of a CSR probe.
+	CostSeminaiveFact = 2.5
+
+	// CostMagicFact is the charge per fact in the magic-rewritten
+	// fixpoint: seminaive's bookkeeping plus the magic-predicate joins.
+	CostMagicFact = 5.0
+
+	// CostSection4Node scales the chain-route charges when the query
+	// needs the Section 4 n-ary-to-binary transformation: every
+	// traversal step interns and decodes tuple terms instead of walking
+	// a flat CSR.
+	CostSection4Node = 6.0
+
+	// CostStartup is the fixed per-run charge of any route (scratch
+	// acquisition, automaton root expansion).
+	CostStartup = 16.0
+
+	// ParallelMinWork is the estimated chain-traversal work below which
+	// frontier sharding is not worth the worker handoff: small queries
+	// stay on the zero-allocation sequential path.
+	ParallelMinWork = 1 << 16
+
+	// FeedbackDeviation is the observed-vs-estimated work ratio past
+	// which a plan is flagged for re-optimization at its next
+	// fact-epoch refresh.
+	FeedbackDeviation = 8.0
+
+	// FeedbackMinWork floors the feedback trigger: tiny queries have
+	// estimates of a few units where an 8x deviation is noise.
+	FeedbackMinWork = int64(4096)
+
+	// DriftFraction is the relative cardinality change of any input
+	// relation that triggers re-optimization at the next fact-epoch
+	// refresh (a plan chosen for yesterday's sizes).
+	DriftFraction = 0.25
+
+	// DriftMinTuples floors the drift trigger in absolute tuples, so a
+	// handful of asserts on a toy relation does not thrash the choice.
+	DriftMinTuples = 8
+)
+
+// reach estimates the nodes visited from one seed under mean branching
+// factor d over a graph with n reachable keys: the expected total
+// progeny of a subcritical branching process (d < 1), everything for a
+// critical or supercritical one, always capped by the key count.
+func reach(d float64, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if d < 1 {
+		r := 1 / (1 - d)
+		if r > n {
+			return n
+		}
+		return r
+	}
+	return n
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"chainlog"
 
@@ -27,8 +28,10 @@ type QueryRequest struct {
 	Args     []string   `json:"args,omitempty"`
 	Batch    [][]string `json:"batch,omitempty"`
 
-	// Strategy selects the evaluation method by name ("chain" default;
-	// "seminaive", "magic", ...).
+	// Strategy selects the evaluation method by name. Empty or "auto"
+	// (the default) lets the cost-based optimizer choose and re-optimize
+	// as facts churn; naming a strategy ("chain", "seminaive", "magic",
+	// ...) pins it, bypassing the optimizer.
 	Strategy string `json:"strategy,omitempty"`
 	// TimeoutMS is the per-request evaluation deadline, clamped to the
 	// server's MaxTimeout; 0 inherits DefaultTimeout.
@@ -204,11 +207,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Batch != nil {
+		start := time.Now()
 		answers, err := p.RunBatchCtx(ctx, req.Batch)
 		if err != nil {
 			writeError(w, httpStatusFor(err), "%v", err)
 			return
 		}
+		// Batch stats are aggregated, so one observation covers the batch.
+		p.Observe(time.Since(start).Seconds(), answers[0].Stats.FactsConsulted)
 		results := make([]QueryResult, len(answers))
 		for i, ans := range answers {
 			results[i] = *toResult(ans, req.Stats)
@@ -216,11 +222,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, QueryResponse{Results: results})
 		return
 	}
+	start := time.Now()
 	ans, err := p.RunCtx(ctx, req.Args...)
 	if err != nil {
 		writeError(w, httpStatusFor(err), "%v", err)
 		return
 	}
+	// Feed the measured latency (the same number the /metrics histograms
+	// record) and the run's retrieval count back into the plan: the
+	// optimizer's re-optimization trigger compares them to its estimate.
+	p.Observe(time.Since(start).Seconds(), ans.Stats.FactsConsulted)
 	writeJSON(w, http.StatusOK, QueryResponse{Result: toResult(ans, req.Stats)})
 }
 

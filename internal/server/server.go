@@ -245,6 +245,12 @@ func New(cfg Config) (*Server, error) {
 		func() float64 { return float64(cfg.DB.FactEpoch()) })
 	reg.GaugeFunc("chainlogd_rule_epoch", "Current rule epoch (plan-invalidating mutations).", "",
 		func() float64 { return float64(cfg.DB.RuleEpoch()) })
+	// Engine-level (not daemon-level) counter, hence the chainlog_ prefix:
+	// Auto plans re-costed after cardinality drift or runtime feedback
+	// contradicted the cost estimate.
+	reg.CounterFunc("chainlog_plan_reoptimizations_total",
+		"Plan re-optimizations performed by the cost-based optimizer.", "",
+		func() float64 { return float64(cfg.DB.Reoptimizations()) })
 	s.snapshots = reg.Counter("chainlogd_wal_snapshots_total", "WAL snapshots written (with segment truncation).", "")
 	s.replApplied = reg.Counter("chainlogd_replication_applied_total", "Replicated records applied by the tailer.", "")
 	s.replLag = reg.Gauge("chainlogd_replication_lag", "Epochs behind the primary's head (replicas; 0 when caught up).", "")

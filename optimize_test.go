@@ -1,0 +1,376 @@
+package chainlog
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chainlog/internal/automaton"
+	"chainlog/internal/equations"
+)
+
+const tcSrc = `
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+edge(a, b).
+edge(b, c).
+edge(c, d).
+edge(d, e).
+edge(e, f).
+`
+
+// Auto (the Options zero value) routes through the cost-based optimizer:
+// the plan records a decision with both rejected alternatives, and run
+// stats report the strategy actually executed, never "auto".
+func TestAutoStrategyChoosesAndReports(t *testing.T) {
+	db := mustDB(t, tcSrc)
+	p, err := db.Prepare("tc(?, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := p.Plan()
+	if pc.Pinned {
+		t.Fatal("Options{} (Auto) must not report a pinned plan")
+	}
+	if len(pc.Rejected) != 2 {
+		t.Fatalf("want 2 rejected alternatives, got %+v", pc.Rejected)
+	}
+	if pc.Cost <= 0 || pc.Reason == "" {
+		t.Fatalf("decision not recorded: %+v", pc)
+	}
+	ans, err := p.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Stats.Strategy == Auto {
+		t.Fatal("run stats must report the effective strategy, not auto")
+	}
+	if ans.Stats.Strategy != pc.Strategy {
+		t.Fatalf("stats strategy %v != plan strategy %v", ans.Stats.Strategy, pc.Strategy)
+	}
+	if got := len(ans.Rows); got != 5 {
+		t.Fatalf("tc(a, Y) rows = %d, want 5", got)
+	}
+}
+
+// Auto answers must agree with every pinned answer-equivalent strategy.
+func TestAutoMatchesPinnedAnswers(t *testing.T) {
+	db := mustDB(t, tcSrc)
+	auto, err := db.QueryOpts("tc(b, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Chain, Seminaive, Magic} {
+		pinned, err := db.QueryOpts("tc(b, Y)", Options{Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(auto.Rows, pinned.Rows) {
+			t.Fatalf("auto rows %v != %v rows %v", auto.Rows, s, pinned.Rows)
+		}
+		if pinned.Stats.Strategy != s {
+			t.Fatalf("pinned run reported strategy %v, want %v", pinned.Stats.Strategy, s)
+		}
+	}
+}
+
+// A named Options.Strategy is a pin, not a hint: the optimizer must not
+// run at all, and both Plan() and explain output must say so.
+func TestPinnedStrategyBypassesOptimizer(t *testing.T) {
+	db := mustDB(t, tcSrc)
+	p, err := db.Prepare("tc(?, Y)", Options{Strategy: Seminaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := p.Plan()
+	if !pc.Pinned {
+		t.Fatal("explicit Strategy must report Pinned")
+	}
+	if pc.Strategy != Seminaive {
+		t.Fatalf("pinned strategy = %v, want seminaive", pc.Strategy)
+	}
+	if pc.Cost != 0 || len(pc.Rejected) != 0 {
+		t.Fatalf("pinned plan must not carry optimizer output: %+v", pc)
+	}
+	if !strings.Contains(pc.Reason, "pinned by Options.Strategy (optimizer bypassed)") {
+		t.Fatalf("pinned reason wording: %q", pc.Reason)
+	}
+	ans, err := p.Run("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Stats.Strategy != Seminaive {
+		t.Fatalf("pinned run executed %v", ans.Stats.Strategy)
+	}
+
+	out, err := db.ExplainOpts("tc(a, Y)", Options{Strategy: Seminaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strategy seminaive pinned by Options.Strategy (optimizer bypassed)") {
+		t.Fatalf("ExplainOpts missing pin wording:\n%s", out)
+	}
+
+	// A pinned plan never re-optimizes, whatever the churn.
+	base := db.Reoptimizations()
+	for i := 0; i < 50; i++ {
+		db.Assert("edge", fmt.Sprintf("p%d", i), fmt.Sprintf("p%d", i+1))
+	}
+	if _, err := p.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Reoptimizations() != base {
+		t.Fatal("pinned plan re-optimized")
+	}
+}
+
+// Options.Strict pins the chain route (all fallbacks are disabled, so
+// there is nothing to optimize): the optimizer must not reroute a
+// non-chain binding pattern around the strict error, and Plan/Explain
+// report the pin.
+func TestStrictBypassesOptimizer(t *testing.T) {
+	db := mustDB(t, tcSrc)
+	p, err := db.Prepare("tc(?, Y)", Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := p.Plan()
+	if !pc.Pinned || pc.Strategy != Chain || len(pc.Rejected) != 0 {
+		t.Fatalf("strict plan must be a chain pin with no optimizer output: %+v", pc)
+	}
+	if !strings.Contains(pc.Reason, "required by Options.Strict (optimizer bypassed)") {
+		t.Fatalf("strict reason wording: %q", pc.Reason)
+	}
+	out, err := db.ExplainOpts("tc(a, Y)", Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "chain route required by Options.Strict (optimizer bypassed)") {
+		t.Fatalf("ExplainOpts missing strict wording:\n%s", out)
+	}
+}
+
+// Explain under default options renders the optimizer's decision.
+func TestExplainShowsPlanChoice(t *testing.T) {
+	db := mustDB(t, tcSrc)
+	out, err := db.Explain("tc(a, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "plan choice:") || !strings.Contains(out, "chosen: ") {
+		t.Fatalf("Explain missing plan choice section:\n%s", out)
+	}
+	if strings.Count(out, "rejected: ") != 2 {
+		t.Fatalf("Explain should list rejected alternatives:\n%s", out)
+	}
+	// No query: program rendering only, no plan section.
+	out, err = db.Explain("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "plan choice:") {
+		t.Fatalf("query-less Explain should have no plan section:\n%s", out)
+	}
+	// Extensional predicate: no decision to show.
+	out, err = db.Explain("edge(a, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "plan choice:") {
+		t.Fatalf("extensional Explain should have no plan section:\n%s", out)
+	}
+}
+
+// A fact burst past the drift floors triggers exactly one
+// re-optimization at the next run; further runs without churn do not
+// re-optimize, and small churn never triggers at all.
+func TestReoptimizeOnDrift(t *testing.T) {
+	db := mustDB(t, tcSrc)
+	p, err := db.Prepare("tc(?, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+	base := db.Reoptimizations()
+
+	// A couple of asserts: below DriftMinTuples, no re-optimization.
+	db.Assert("edge", "f", "g")
+	db.Assert("edge", "g", "h")
+	if _, err := p.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Reoptimizations(); got != base {
+		t.Fatalf("small churn re-optimized: %d -> %d", base, got)
+	}
+
+	// A burst well past both floors: exactly one re-optimization on the
+	// next run, none on the run after.
+	for i := 0; i < 30; i++ {
+		db.Assert("edge", fmt.Sprintf("x%d", i), fmt.Sprintf("x%d", i+1))
+	}
+	transformsBefore := equations.TransformCount()
+	compilesBefore := automaton.CompileCount()
+	if _, err := p.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Reoptimizations(); got != base+1 {
+		t.Fatalf("burst should re-optimize exactly once: %d -> %d", base, got)
+	}
+	if _, err := p.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Reoptimizations(); got != base+1 {
+		t.Fatalf("second run after burst re-optimized again: %d", got)
+	}
+	// Re-optimization reuses compiled plans: the equation transformation
+	// and automaton compilation must not have run again.
+	if d := equations.TransformCount() - transformsBefore; d != 0 {
+		t.Fatalf("re-optimization re-transformed %d times", d)
+	}
+	if d := automaton.CompileCount() - compilesBefore; d != 0 {
+		t.Fatalf("re-optimization re-compiled %d automata", d)
+	}
+	if pc := p.Plan(); pc.Reoptimizations != 1 {
+		t.Fatalf("handle-level reopt count = %d, want 1", pc.Reoptimizations)
+	}
+}
+
+// Observe feeds runtime measurements into the plan; wildly divergent
+// observed work flags the plan and the next fact-epoch refresh
+// re-optimizes even without cardinality drift.
+func TestObserveFeedbackTriggersReopt(t *testing.T) {
+	db := mustDB(t, tcSrc)
+	p, err := db.Prepare("tc(?, Y)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+	base := db.Reoptimizations()
+	// Report observed work far past the estimate (and past the absolute
+	// feedback floor). A single fact nudge moves the fact epoch without
+	// tripping the drift floors, isolating the feedback path.
+	for i := 0; i < 8; i++ {
+		p.Observe(0.001, 1<<20)
+	}
+	db.Assert("edge", "z1", "z2")
+	if _, err := p.Run("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Reoptimizations(); got != base+1 {
+		t.Fatalf("feedback should force one re-optimization: %d -> %d", base, got)
+	}
+	if pc := p.Plan(); pc.ObservedSeconds == 0 {
+		t.Fatal("Observe should record the latency average")
+	}
+}
+
+// A route whose estimate proves badly wrong at run time must be
+// abandoned for the measured-cheapest alternative — and must not be
+// flipped back to, because its measured cost survives re-optimization.
+//
+// The shape: same-carrier connectivity over a single-carrier cycle. The
+// free head variable C in the in group fails the chain condition, so the
+// contest is magic vs seminaive; the model predicts the bound seed
+// restricts the traversal, but on a cycle everything is reachable, so
+// magic degenerates to seminaive plus the rewriting overhead. Observed
+// work feeds back and the plan settles on seminaive.
+func TestFeedbackFlipsToMeasuredBest(t *testing.T) {
+	db := NewDB()
+	if err := db.LoadProgram(`cnx2(S, D, C) :- flight2(S, D, C).
+cnx2(S, D, C) :- flight2(S, H, C), cnx2(H, D, C).`); err != nil {
+		t.Fatal(err)
+	}
+	const n = 80
+	for i := 0; i < n; i++ {
+		db.Assert("flight2", fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", (i+1)%n), "acme")
+	}
+	p, err := db.Prepare("cnx2(?, D, C)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc := p.Plan(); pc.Strategy != Magic {
+		t.Fatalf("the model should start from magic on a bound query, got %v", pc.Strategy)
+	}
+	first, err := p.Run("a0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The run observed far more retrievals than estimated; the next run
+	// re-optimizes at entry — no fact mutation required — and the
+	// recalibrated magic cost loses to the seminaive model cost.
+	again, err := p.Run("a0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := p.Plan()
+	if pc.Strategy != Seminaive {
+		t.Fatalf("feedback should flip the plan to seminaive, got %v (reason %q)", pc.Strategy, pc.Reason)
+	}
+	if pc.Reoptimizations == 0 {
+		t.Fatal("the flip must be counted as a re-optimization")
+	}
+	if !strings.Contains(strings.Join(rejectedDetails(pc), "\n"), "recalibrated from") {
+		t.Fatalf("the rejected magic route should carry its measured cost: %+v", pc.Rejected)
+	}
+	if !reflect.DeepEqual(first.Rows, again.Rows) {
+		t.Fatal("re-optimization changed the answer")
+	}
+	// Stable: further runs see estimate ≈ observation and stay put.
+	if _, err := p.Run("a0"); err != nil {
+		t.Fatal(err)
+	}
+	if pc := p.Plan(); pc.Strategy != Seminaive || pc.Reoptimizations != 1 {
+		t.Fatalf("plan should settle: %v after %d reoptimizations", pc.Strategy, pc.Reoptimizations)
+	}
+}
+
+func rejectedDetails(pc PlanChoice) []string {
+	var out []string
+	for _, r := range pc.Rejected {
+		out = append(out, r.Detail)
+	}
+	return out
+}
+
+// The generic batch route's selectivity ordering must not change
+// answers or their order.
+func TestBatchSelectivityOrderingPreservesAnswers(t *testing.T) {
+	db := mustDB(t, tcSrc)
+	for i := 0; i < 20; i++ {
+		db.Assert("edge", fmt.Sprintf("h%d", i), fmt.Sprintf("h%d", i+1))
+	}
+	// A pinned bottom-up strategy forces the generic per-binding fan-out.
+	seq, err := db.Prepare("tc(?, Y)", Options{Strategy: Seminaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := db.Prepare("tc(?, Y)", Options{Strategy: Seminaive, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]string, 0, 12)
+	for _, a := range []string{"a", "b", "c", "h0", "h5", "h10", "h19", "d", "e", "f", "h1", "nosuch"} {
+		batch = append(batch, []string{a})
+	}
+	want, err := seq.RunBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.RunBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("answer count %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i].Rows, want[i].Rows) {
+			t.Fatalf("binding %d (%v): parallel rows %v != sequential %v", i, batch[i], got[i].Rows, want[i].Rows)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"chainlog/internal/analysis"
 	"chainlog/internal/ast"
@@ -15,6 +16,7 @@ import (
 	"chainlog/internal/hn"
 	"chainlog/internal/hunt"
 	"chainlog/internal/magic"
+	"chainlog/internal/optimizer"
 	"chainlog/internal/parser"
 	"chainlog/internal/symtab"
 )
@@ -55,6 +57,33 @@ type Prepared struct {
 	// the answer's stats, preserving the pre-prepared-API accounting.
 	compileFacts   int64
 	compileLookups int64
+
+	// Cost-based optimization state (Auto strategy), under mu: decision
+	// is the optimizer's record (nil when pinned or extensional),
+	// builtPlans caches one compiled plan per effective strategy so a
+	// re-optimization switches routes without recompiling, reoptCount
+	// counts the switches.
+	decision   *optimizer.Decision
+	builtPlans map[Strategy]plan
+	reoptCount uint64
+
+	// Run-path feedback state, atomic so the hot path never takes mu
+	// exclusively: optimized mirrors decision != nil, effective is the
+	// strategy the current plan executes as (what Stats.Strategy
+	// reports), estWork/obsWork/obsSeconds hold float64 bit patterns,
+	// and feedback flags an estimate contradicted by observed runs.
+	optimized  atomic.Bool
+	effective  atomic.Int32
+	estWork    atomic.Uint64
+	obsWork    atomic.Uint64
+	obsSeconds atomic.Uint64
+	feedback   atomic.Bool
+	// obsByStrategy remembers the work EWMA per effective strategy
+	// (indexed by the Strategy value) across re-optimizations: a route
+	// that measured badly keeps its measured cost when the optimizer
+	// re-enumerates alternatives, so feedback can not ping-pong back to
+	// it. Cleared when input cardinalities drift (stale measurements).
+	obsByStrategy [strategyCount]atomic.Uint64
 }
 
 // plan is one compiled evaluation route. run executes it for a parameter
@@ -139,7 +168,7 @@ func (db *DB) prepareQuery(tmpl ast.Query, opts Options) (*Prepared, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	before := db.store.CountersSnapshot()
-	pl, err := db.buildPlan(tmpl, opts)
+	pl, dec, eff, err := db.buildPlanAuto(tmpl, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +176,7 @@ func (db *DB) prepareQuery(tmpl ast.Query, opts Options) (*Prepared, error) {
 	p.compileFacts = after.Retrieved - before.Retrieved
 	p.compileLookups = after.Lookups - before.Lookups
 	p.plan, p.ruleEpoch, p.factEpoch = pl, db.ruleEpoch, db.factEpoch
+	p.installDecision(dec, eff)
 	return p, nil
 }
 
@@ -233,7 +263,8 @@ func (p *Prepared) runMaterialized(ctx context.Context, pl plan, args []symtab.S
 	after := db.store.CountersSnapshot()
 	ans.Stats.FactsConsulted = after.Retrieved - before.Retrieved
 	ans.Stats.Lookups = after.Lookups - before.Lookups
-	ans.Stats.Strategy = p.opts.Strategy
+	ans.Stats.Strategy = Strategy(p.effective.Load())
+	p.recordWork(ans.Stats.FactsConsulted)
 	ans.Vars = append([]string(nil), p.vars...)
 	if len(ans.Vars) == 0 {
 		ans.True = len(ans.Rows) > 0
@@ -319,15 +350,24 @@ func (p *Prepared) planLocked() (plan, error) {
 	p.mu.RLock()
 	pl, re, fe := p.plan, p.ruleEpoch, p.factEpoch
 	p.mu.RUnlock()
-	if re == db.ruleEpoch && fe == db.factEpoch {
+	if re == db.ruleEpoch && fe == db.factEpoch && !p.feedback.Load() {
 		return pl, nil
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.ruleEpoch == db.ruleEpoch {
 		if p.factEpoch == db.factEpoch {
+			// Epochs are clean, so only runtime feedback got us here: the
+			// plan's observed work contradicts its estimate. Re-cost with
+			// the measurements; compiled routes are reused, not rebuilt.
+			p.maybeReoptimizeLocked(db)
 			return p.plan, nil
 		}
+		// Facts moved: before refreshing, let an Auto plan re-cost its
+		// choice if the inputs drifted or feedback flagged the estimate.
+		// Whatever plan comes out (switched or not) absorbs the mutation
+		// in place via the refresher below.
+		p.maybeReoptimizeLocked(db)
 		if fr, ok := p.plan.(factRefresher); ok {
 			fr.refreshFacts(db)
 			p.factEpoch = db.factEpoch
@@ -335,7 +375,7 @@ func (p *Prepared) planLocked() (plan, error) {
 		}
 	}
 	before := db.store.CountersSnapshot()
-	pl, err := db.buildPlan(p.tmpl, p.opts)
+	pl, dec, eff, err := db.buildPlanAuto(p.tmpl, p.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -343,6 +383,7 @@ func (p *Prepared) planLocked() (plan, error) {
 	p.compileFacts = after.Retrieved - before.Retrieved
 	p.compileLookups = after.Lookups - before.Lookups
 	p.plan, p.ruleEpoch, p.factEpoch = pl, db.ruleEpoch, db.factEpoch
+	p.installDecision(dec, eff)
 	return pl, nil
 }
 

@@ -324,8 +324,8 @@ func TestConcurrentQueryPlanCache(t *testing.T) {
 // Every strategy round-trips through its CLI name.
 func TestStrategyStringRoundTrip(t *testing.T) {
 	all := Strategies()
-	if len(all) != 8 {
-		t.Fatalf("expected 8 strategies, have %d", len(all))
+	if len(all) != 9 {
+		t.Fatalf("expected 9 strategies, have %d", len(all))
 	}
 	for _, s := range all {
 		got, err := ParseStrategy(s.String())

@@ -24,12 +24,22 @@ var ErrMaxNodes = chaineval.ErrMaxNodes
 type Strategy int
 
 const (
-	// Chain is the paper's graph-traversal algorithm (the default).
-	// Binary-chain programs with a bf/fb/ff query evaluate directly over
-	// the Lemma 1 equations; other linear programs (n-ary predicates, or
-	// binary queries binding both arguments) go through the Section 4
+	// Auto, the zero value, hands the choice to the cost-based plan
+	// optimizer: per-relation statistics (cardinalities, degree
+	// histograms off the CSR offset arrays) cost the answer-equivalent
+	// routes — chain traversal, seminaive bottom-up, magic sets — and
+	// the cheapest is compiled. The decision is recorded on the plan
+	// (surfaced by Prepared.Plan and Explain) and revisited when input
+	// cardinalities drift or runtime feedback contradicts the estimate.
+	// Setting any named strategy instead pins it: a manual choice is
+	// never second-guessed.
+	Auto Strategy = iota
+	// Chain is the paper's graph-traversal algorithm. Binary-chain
+	// programs with a bf/fb/ff query evaluate directly over the Lemma 1
+	// equations; other linear programs (n-ary predicates, or binary
+	// queries binding both arguments) go through the Section 4
 	// transformation first.
-	Chain Strategy = iota
+	Chain
 	// Naive is general naive bottom-up evaluation.
 	Naive
 	// Seminaive is general seminaive (delta) bottom-up evaluation.
@@ -46,10 +56,15 @@ const (
 	// Hunt is the Hunt-Szymanski-Ullman preconstruction baseline
 	// (regular equations only).
 	Hunt
+
+	// strategyCount bounds per-strategy state arrays.
+	strategyCount
 )
 
 func (s Strategy) String() string {
 	switch s {
+	case Auto:
+		return "auto"
 	case Chain:
 		return "chain"
 	case Naive:
@@ -72,13 +87,16 @@ func (s Strategy) String() string {
 
 // Strategies lists every selectable strategy, in declaration order.
 func Strategies() []Strategy {
-	return []Strategy{Chain, Naive, Seminaive, Magic, Counting, ReverseCounting, HenschenNaqvi, Hunt}
+	return []Strategy{Auto, Chain, Naive, Seminaive, Magic, Counting, ReverseCounting, HenschenNaqvi, Hunt}
 }
 
-// ParseStrategy resolves a strategy name as used by the CLI.
+// ParseStrategy resolves a strategy name as used by the CLI. The empty
+// name is Auto: an unset strategy means the optimizer decides.
 func ParseStrategy(name string) (Strategy, error) {
 	switch strings.ToLower(name) {
-	case "chain", "":
+	case "auto", "":
+		return Auto, nil
+	case "chain":
 		return Chain, nil
 	case "naive":
 		return Naive, nil
@@ -100,7 +118,9 @@ func ParseStrategy(name string) (Strategy, error) {
 
 // Options tunes query evaluation. The zero value is ready to use.
 type Options struct {
-	// Strategy selects the evaluation method; default Chain.
+	// Strategy selects the evaluation method. The default, Auto, lets
+	// the cost-based optimizer pick among the answer-equivalent routes;
+	// naming a strategy pins it, bypassing the optimizer entirely.
 	Strategy Strategy
 	// MaxIterations caps the chain engine's main loop (0 = uncapped).
 	MaxIterations int

@@ -2,8 +2,11 @@
 # e2e.sh — end-to-end smoke of chainlogd: boot the daemon on the serving
 # example program, drive a scripted query/assert/retract/delta session
 # over HTTP, check every answer, scrape /metrics (plan-cache hits must
-# survive fact churn with no recompiles), then SIGTERM and assert a
-# clean drain. Non-zero exit on any mismatch.
+# survive fact churn with no recompiles), check /v1/explain surfaces the
+# cost-based optimizer's plan choice, drive a cardinality-drift burst
+# that must re-optimize the served plan exactly once without a
+# recompile, then SIGTERM and assert a clean drain. Non-zero exit on
+# any mismatch.
 #
 # Usage:
 #   scripts/e2e.sh                 # build + boot + smoke + drain
@@ -136,9 +139,19 @@ expect "unknown field" 400 '"error"'
 post /v1/query 'not json' >/dev/null
 expect "non-JSON body" 400 '"error"'
 
-# 6. Explain.
+# 6. Explain: the compilation route plus the cost-based optimizer's
+# decision — chosen strategy with its estimated cost, and the costed
+# alternatives it rejected.
 get '/v1/explain?query=ancestor(bart,%20Y)' >/dev/null
 expect "explain" 200 'equation system'
+expect "explain plan choice" 200 'plan choice:'
+expect "explain chosen strategy" 200 'chosen: '
+expect "explain plan cost" 200 'estimated cost'
+if ! grep -qF 'rejected: ' "$TMP/resp"; then
+  fail "explain lists no rejected alternatives: $(cat "$TMP/resp")"
+else
+  echo "e2e: ok: explain lists rejected alternatives"
+fi
 
 # 7. Metrics: the template plan must have compiled exactly once and been
 # reused across the fact churn above.
@@ -156,7 +169,56 @@ else
   echo "e2e: ok: plan-cache hits = $HITS across fact churn"
 fi
 
-# 8. Deadline enforcement end to end: an absurd 1ms... the family graph
+# 8. Plan re-optimization end to end. The template plan's route was
+# costed against boot-time cardinalities; a delta burst that grows the
+# parent relation far past the drift floor (>= 8 tuples and >= 25%)
+# must make the very next run of that plan re-choose its route —
+# exactly once, with no plan recompile, and with the answer unchanged.
+# The burst facts hang off fresh constants so no ancestor of bart is
+# added.
+REOPT0=$(grep '^chainlog_plan_reoptimizations_total' "$TMP/metrics" | awk '{print $2}')
+if [ -z "$REOPT0" ]; then
+  fail "metrics missing chainlog_plan_reoptimizations_total"
+  REOPT0=0
+fi
+BURST='{"ops": ['
+for i in $(seq 0 11); do
+  BURST="$BURST{\"op\": \"assert\", \"pred\": \"parent\", \"args\": [\"cousin$i\", \"greataunt$i\"]},"
+done
+BURST="${BURST%,}]}"
+post /v1/delta "$BURST" >/dev/null
+expect "drift burst" 200 '"asserted":12'
+
+post /v1/query '{"template": "ancestor(?, Y)", "args": ["bart"]}' >/dev/null
+expect "query after drift burst" 200 '"rows":[["abe"],["homer"],["orville"],["zeke"]]'
+get /metrics >"$TMP/metrics"
+REOPT1=$(grep '^chainlog_plan_reoptimizations_total' "$TMP/metrics" | awk '{print $2}')
+if [ "$((REOPT1 - REOPT0))" != 1 ]; then
+  fail "drift burst: reoptimizations went $REOPT0 -> $REOPT1, want exactly one re-optimization"
+else
+  echo "e2e: ok: drift burst re-optimized the plan exactly once"
+fi
+
+# A second run sees the refreshed cardinalities and must not re-optimize
+# again.
+post /v1/query '{"template": "ancestor(?, Y)", "args": ["bart"]}' >/dev/null
+expect "settled query after re-optimization" 200 '"rows":[["abe"],["homer"],["orville"],["zeke"]]'
+get /metrics >"$TMP/metrics"
+REOPT2=$(grep '^chainlog_plan_reoptimizations_total' "$TMP/metrics" | awk '{print $2}')
+if [ "$REOPT2" != "$REOPT1" ]; then
+  fail "settled plan re-optimized again: $REOPT1 -> $REOPT2"
+else
+  echo "e2e: ok: re-optimized plan is stable on the next run"
+fi
+# The re-optimization must not have recompiled anything in the serving
+# registry (it re-costs inside the prepared handle).
+if ! grep -q '^chainlogd_plan_compiles_total 1$' "$TMP/metrics"; then
+  fail "re-optimization recompiled a registry plan: $(grep '^chainlogd_plan_compiles_total' "$TMP/metrics")"
+else
+  echo "e2e: ok: re-optimization reused the compiled plan"
+fi
+
+# 9. Deadline enforcement end to end: an absurd 1ms... the family graph
 # is tiny, so instead check the contract with timeout_ms accepted and a
 # normal answer returned (the heavy-traversal 504 path is pinned by unit
 # tests).
@@ -164,7 +226,7 @@ post /v1/query '{"template": "ancestor(?, Y)", "args": ["bart"], "timeout_ms": 1
 expect "deadline-carrying query" 200 '"rows":'
 
 if [ -z "${E2E_EXTERNAL:-}" ]; then
-  # 9. Graceful drain: SIGTERM must exit 0 after finishing in-flight work.
+  # 10. Graceful drain: SIGTERM must exit 0 after finishing in-flight work.
   kill -TERM "$PID"
   RC=0
   wait "$PID" || RC=$?

@@ -96,8 +96,8 @@ func TestParseStrategyRoundTrip(t *testing.T) {
 	if _, err := ParseStrategy("nope"); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	if s, err := ParseStrategy(""); err != nil || s != Chain {
-		t.Error("empty strategy should default to chain")
+	if s, err := ParseStrategy(""); err != nil || s != Auto {
+		t.Error("empty strategy should default to auto (optimizer-chosen)")
 	}
 	if Strategy(99).String() == "" {
 		t.Error("out-of-range strategy String empty")
