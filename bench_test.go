@@ -755,3 +755,73 @@ tc(X, Z) :- e(X, Y), tc(Y, Z).
 		}
 	})
 }
+
+// BenchmarkMaterializedApply pins the tentpole claim of the live-view
+// machinery: absorbing a small delta into a materialized prepared query
+// (differential maintenance inside the mutation) must beat re-running
+// the prepared query by an order of magnitude. Both legs apply the same
+// edge toggles against the same chain; "recompute" re-runs the plan
+// after every mutation, "maintained" lets the view absorb the delta.
+func BenchmarkMaterializedApply(b *testing.B) {
+	// A complete binary tree keeps the reachability cone of a fringe
+	// mutation shallow (one root path), so the delta's true cost is
+	// O(depth) while a recompute pays for the whole closure.
+	const depth = 13 // 2^13-1 = 8191 nodes
+	build := func(b *testing.B) (*DB, *Prepared) {
+		b.Helper()
+		db := NewDB()
+		if err := db.LoadProgram(`
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- edge(X, Y), tc(Y, Z).
+`); err != nil {
+			b.Fatal(err)
+		}
+		d := &Delta{}
+		nodes := 1<<depth - 1
+		for i := 1; 2*i+1 <= nodes; i++ {
+			d.Assert("edge", fmt.Sprintf("t%d", i), fmt.Sprintf("t%d", 2*i))
+			d.Assert("edge", fmt.Sprintf("t%d", i), fmt.Sprintf("t%d", 2*i+1))
+		}
+		db.Apply(d)
+		p, err := db.Prepare("tc(?, Y)", Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return db, p
+	}
+	fringe := fmt.Sprintf("t%d", 1<<depth-1) // deepest rightmost leaf
+	toggle := func(db *DB, i int) {
+		leaf := fmt.Sprintf("leaf%d", i/2)
+		if i%2 == 0 {
+			db.Assert("edge", fringe, leaf)
+		} else {
+			db.Retract("edge", fringe, leaf)
+		}
+	}
+	b.Run("maintained", func(b *testing.B) {
+		db, p := build(b)
+		m, err := p.Materialize("t1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toggle(db, i)
+		}
+		b.StopTimer()
+		if st := m.Stats(); st.Recomputed != 0 {
+			b.Fatalf("maintenance fell back to recompute: %+v", st)
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		db, p := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			toggle(db, i)
+			if _, err := p.Run("t1"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

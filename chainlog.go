@@ -79,6 +79,7 @@ import (
 	"chainlog/internal/analysis"
 	"chainlog/internal/ast"
 	"chainlog/internal/edb"
+	"chainlog/internal/ivm"
 	"chainlog/internal/parser"
 	"chainlog/internal/snapshot"
 	"chainlog/internal/stats"
@@ -137,6 +138,16 @@ type DB struct {
 	probeCache map[string]routeProbe
 	probeEpoch uint64
 
+	// viewMu guards the registry of materialized views. Mutators notify
+	// views while holding db.mu exclusively, so the lock order is
+	// db.mu -> viewMu -> (each view's own lock); view read methods never
+	// take db.mu. The counters aggregate maintained-vs-recomputed work
+	// across all views for metrics.
+	viewMu         sync.Mutex
+	views          map[*Materialized]struct{}
+	viewMaintained atomic.Uint64
+	viewRecomputed atomic.Uint64
+
 	// snap, when the DB was built by OpenSnapshot, owns the mapped
 	// snapshot backing the symbol table and store. Close releases it.
 	snap *snapshot.File
@@ -190,13 +201,18 @@ func (db *DB) LoadProgram(src string) error {
 			return fmt.Errorf("chainlog: %s appears both as a fact and a rule head", f.Pred)
 		}
 	}
+	var ins []ivm.Fact
 	for _, f := range res.Facts {
-		db.store.Insert(f.Pred, f.Args...)
+		if db.store.Insert(f.Pred, f.Args...) {
+			ins = append(ins, ivm.Fact{Pred: f.Pred, Args: f.Args})
+		}
 	}
 	if len(res.Program.Rules) > 0 {
 		db.bumpRuleEpoch()
+		db.recomputeViewsLocked()
 	} else {
 		db.bumpFactEpoch()
+		db.notifyViewsLocked(ins, nil)
 	}
 	return nil
 }
@@ -221,6 +237,7 @@ func (db *DB) AssertSyms(pred string, args ...symtab.Sym) bool {
 		return false
 	}
 	db.bumpFactEpoch()
+	db.notifyViewsLocked([]ivm.Fact{{Pred: pred, Args: slices.Clone(args)}}, nil)
 	return true
 }
 
@@ -249,6 +266,7 @@ func (db *DB) RetractSyms(pred string, args ...symtab.Sym) bool {
 		return false
 	}
 	db.bumpFactEpoch()
+	db.notifyViewsLocked(nil, []ivm.Fact{{Pred: pred, Args: slices.Clone(args)}})
 	return true
 }
 
@@ -298,11 +316,15 @@ func (d *Delta) Retract(pred string, args ...string) *Delta {
 // Len returns the number of queued operations.
 func (d *Delta) Len() int { return len(d.ops) }
 
-// ApplyResult reports what a Delta changed.
+// ApplyResult reports the net effect of a Delta: what the database
+// contains afterwards versus before, not the per-operation traffic.
 type ApplyResult struct {
-	// Asserted counts insertions that were new; Retracted counts
-	// deletions that removed a present fact. No-op operations (duplicate
-	// asserts, retracts of absent facts) are excluded.
+	// Asserted counts facts present after the Delta that were absent
+	// before; Retracted counts facts absent after that were present
+	// before. Operations that cancel within the batch — a fact asserted
+	// and later retracted, or retracted and re-asserted — contribute to
+	// neither, exactly as no-op operations (duplicate asserts, retracts
+	// of absent facts) never did.
 	Asserted, Retracted int
 }
 
@@ -317,9 +339,10 @@ func (db *DB) Apply(d *Delta) ApplyResult {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	res := db.applyOpsLocked(d)
+	res, ins, del := db.applyOpsLocked(d)
 	if res.Asserted > 0 || res.Retracted > 0 {
 		db.bumpFactEpoch()
+		db.notifyViewsLocked(ins, del)
 	}
 	return res
 }
@@ -341,17 +364,43 @@ func (db *DB) ApplyAt(d *Delta, epoch uint64) (ApplyResult, bool) {
 		return ApplyResult{}, false
 	}
 	var res ApplyResult
+	var ins, del []ivm.Fact
 	if d != nil {
-		res = db.applyOpsLocked(d)
+		res, ins, del = db.applyOpsLocked(d)
 	}
 	db.factEpoch = epoch
+	// Views learn the log position even from a net-no-change record, so
+	// a replica's watch feed reports the same head as its primary's.
+	db.notifyViewsLocked(ins, del)
 	return res, true
 }
 
-// applyOpsLocked executes a Delta's ops in order; the caller must hold
-// db.mu exclusively and is responsible for epoch movement.
-func (db *DB) applyOpsLocked(d *Delta) ApplyResult {
-	var res ApplyResult
+// applyOpsLocked executes a Delta's ops in order and reports the NET
+// effect: per-fact presence before the first touching op versus after
+// the last one. A fact asserted and later retracted inside the batch
+// (or vice versa) cancels out of the counts, the epoch decision and the
+// view-maintenance delta alike — all three agree by construction. The
+// caller must hold db.mu exclusively and is responsible for epoch
+// movement and view notification.
+func (db *DB) applyOpsLocked(d *Delta) (ApplyResult, []ivm.Fact, []ivm.Fact) {
+	type touch struct {
+		pred   string
+		args   []symtab.Sym
+		before bool // present before the batch first touched it
+		after  bool // present after the latest touching op
+	}
+	touched := make(map[string]*touch, len(d.ops))
+	var order []*touch // first-touch order, for deterministic deltas
+	var keyBuf []byte
+	factKey := func(pred string, syms []symtab.Sym) string {
+		keyBuf = append(keyBuf[:0], pred...)
+		keyBuf = append(keyBuf, 0)
+		for _, s := range syms {
+			u := uint32(s)
+			keyBuf = append(keyBuf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+		}
+		return string(keyBuf)
+	}
 	for _, op := range d.ops {
 		if op.retract {
 			syms := make([]symtab.Sym, len(op.args))
@@ -364,8 +413,17 @@ func (db *DB) applyOpsLocked(d *Delta) ApplyResult {
 				}
 				syms[i] = s
 			}
-			if known && db.store.Remove(op.pred, syms...) {
-				res.Retracted++
+			if !known {
+				continue // an unknown constant cannot be part of a stored fact
+			}
+			was := db.store.Remove(op.pred, syms...)
+			k := factKey(op.pred, syms)
+			if t := touched[k]; t != nil {
+				t.after = false
+			} else {
+				t = &touch{pred: op.pred, args: syms, before: was}
+				touched[k] = t
+				order = append(order, t)
 			}
 			continue
 		}
@@ -373,11 +431,29 @@ func (db *DB) applyOpsLocked(d *Delta) ApplyResult {
 		for i, a := range op.args {
 			syms[i] = db.st.Intern(a)
 		}
-		if db.store.Insert(op.pred, syms...) {
-			res.Asserted++
+		isNew := db.store.Insert(op.pred, syms...)
+		k := factKey(op.pred, syms)
+		if t := touched[k]; t != nil {
+			t.after = true
+		} else {
+			t = &touch{pred: op.pred, args: syms, before: !isNew, after: true}
+			touched[k] = t
+			order = append(order, t)
 		}
 	}
-	return res
+	var res ApplyResult
+	var ins, del []ivm.Fact
+	for _, t := range order {
+		switch {
+		case t.after && !t.before:
+			res.Asserted++
+			ins = append(ins, ivm.Fact{Pred: t.pred, Args: t.args})
+		case !t.after && t.before:
+			res.Retracted++
+			del = append(del, ivm.Fact{Pred: t.pred, Args: t.args})
+		}
+	}
+	return res, ins, del
 }
 
 // Sym is an interned constant symbol — an alias of the internal dense
@@ -417,6 +493,7 @@ func (db *DB) SetStore(s *edb.Store) {
 	// into every plan; this is a rule-epoch event even though no rule
 	// changed.
 	db.bumpRuleEpoch()
+	db.recomputeViewsLocked()
 }
 
 // Invalidate discards every cached plan and memoized analysis, forcing
@@ -427,6 +504,7 @@ func (db *DB) Invalidate() {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.bumpRuleEpoch()
+	db.recomputeViewsLocked()
 }
 
 // Epoch returns the current combined mutation epoch. Two calls returning

@@ -33,6 +33,12 @@
 //	GET  /v1/snapshot fact snapshot + X-Chainlog-Epoch (?format=binary
 //	                  streams the columnar snapshot instead of text)
 //	GET  /v1/replicate?from=E  NDJSON delta feed for replicas
+//	GET  /v1/watch?template=tc(%3F,%20Y)&arg=a[&from=E&gen=G]
+//	                  NDJSON live view of a prepared query: a reset line
+//	                  with the full answer set, then epoch-stamped
+//	                  added/removed deltas as facts mutate; heartbeats
+//	                  carry the (from, gen) resume cursor. Served on any
+//	                  role — replicas stream off their applied WAL tail.
 //	POST /v1/promote  replica -> primary (manual failover)
 //	GET  /healthz     200 ok / 503 draining
 //	GET  /metrics     Prometheus text exposition
@@ -92,6 +98,7 @@ func run(args []string) error {
 	role := fs.String("role", "primary", "\"primary\" (accepts writes) or \"replica\" (tails -primary, read-only)")
 	primaryURL := fs.String("primary", "", "primary base URL (required with -role replica)")
 	snapshotFormat := fs.String("snapshot-format", "text", "format of WAL auto-snapshots: \"text\" or \"binary\"")
+	watchLinger := fs.Duration("watch-linger", time.Minute, "how long a watched view outlives its last subscriber (negative closes immediately)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,6 +178,7 @@ func run(args []string) error {
 		PrimaryURL:     *primaryURL,
 		SnapshotBytes:  *snapshotBytes,
 		SnapshotFormat: *snapshotFormat,
+		WatchLinger:    *watchLinger,
 	})
 	if err != nil {
 		return err

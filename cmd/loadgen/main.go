@@ -21,15 +21,25 @@
 // successful mutation, sends it as X-Chainlog-Min-Epoch on queries, and
 // counts any response whose X-Chainlog-Epoch is below it as a stale
 // read. Stale reads fail the run under -fail-on-error.
+//
+// -watch N mixes N live-view subscribers into the run: each holds a
+// GET /v1/watch stream for the template (bindings cycled across
+// subscribers), consumes the answer deltas the mutation traffic
+// produces, and reconnects with its (from, gen) cursor whenever the
+// server's long-poll window closes. Watch transport or decode failures
+// fail the run under -fail-on-error.
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"slices"
 	"strconv"
@@ -52,6 +62,13 @@ type summary struct {
 	Redirects       int            `json:"redirects"`
 	AchievedQPS     float64        `json:"achieved_qps"`
 	LatencyMS       latencies      `json:"latency_ms"`
+
+	WatchSubscribers int `json:"watch_subscribers,omitempty"`
+	WatchLines       int `json:"watch_lines,omitempty"`
+	WatchDeltas      int `json:"watch_deltas,omitempty"`
+	WatchResets      int `json:"watch_resets,omitempty"`
+	WatchReconnects  int `json:"watch_reconnects,omitempty"`
+	WatchErrors      int `json:"watch_errors,omitempty"`
 }
 
 type latencies struct {
@@ -95,6 +112,7 @@ func run(argv []string) int {
 	failOnError := fs.Bool("fail-on-error", false, "exit 1 on any transport error or unexpected status")
 	allow429 := fs.Bool("allow-429", false, "with -fail-on-error, tolerate 429s (deliberate saturation probes)")
 	minEpoch := fs.Bool("min-epoch", false, "send X-Chainlog-Min-Epoch on queries and count stale reads (read-your-writes check)")
+	watchN := fs.Int("watch", 0, "concurrent GET /v1/watch subscribers held open for the whole run (0 = none)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -155,6 +173,26 @@ func run(argv []string) int {
 	var cursor atomic.Int64
 	states := make([]*workerState, *concurrency)
 	var wg sync.WaitGroup
+
+	// Watch subscribers run for the whole schedule on their own
+	// timeout-free client (the request/response client's timeout would
+	// kill a healthy stream); the context deadline reels them in.
+	watchStates := make([]*watchState, *watchN)
+	if *watchN > 0 {
+		wctx, wcancel := context.WithDeadline(context.Background(), deadline)
+		defer wcancel()
+		streamClient := &http.Client{}
+		for i := range watchStates {
+			ws := &watchState{}
+			watchStates[i] = ws
+			binding := strings.TrimSpace(bindings[i%len(bindings)])
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				watchLoop(wctx, streamClient, *addr, *template, binding, ws)
+			}()
+		}
+	}
 	for w := 0; w < *concurrency; w++ {
 		st := &workerState{status: make(map[int]int)}
 		states[w] = st
@@ -259,6 +297,14 @@ func run(argv []string) int {
 			}
 		}
 	}
+	sum.WatchSubscribers = *watchN
+	for _, ws := range watchStates {
+		sum.WatchLines += ws.lines
+		sum.WatchDeltas += ws.deltas
+		sum.WatchResets += ws.resets
+		sum.WatchReconnects += ws.reconnects
+		sum.WatchErrors += ws.errors
+	}
 	sum.Requests = len(all) + sum.TransportErrors
 	sum.AchievedQPS = float64(sum.Requests) / elapsed.Seconds()
 	slices.Sort(all)
@@ -288,7 +334,14 @@ func run(argv []string) int {
 	}
 
 	if *failOnError {
-		bad := sum.TransportErrors + sum.StaleReads
+		bad := sum.TransportErrors + sum.StaleReads + sum.WatchErrors
+		if *watchN > 0 && sum.WatchResets < *watchN {
+			// Every subscriber must at least have received its initial
+			// snapshot line.
+			fmt.Fprintf(os.Stderr, "loadgen: %d watch subscriber(s) never saw a reset line\n",
+				*watchN-sum.WatchResets)
+			return 1
+		}
 		for code, n := range sum.Status {
 			if strings.HasPrefix(code, "2") || (*allow429 && code == "429") {
 				continue
@@ -302,4 +355,77 @@ func run(argv []string) int {
 		}
 	}
 	return 0
+}
+
+// watchState accumulates one watch subscriber's stream counters.
+type watchState struct {
+	lines, deltas, resets, reconnects, errors int
+}
+
+// watchLoop holds one /v1/watch subscription open until ctx expires,
+// reconnecting with the (from, gen) cursor from the last line whenever
+// the server's long-poll window closes the stream.
+func watchLoop(ctx context.Context, client *http.Client, addr, template, binding string, ws *watchState) {
+	var from, gen uint64
+	have := false
+	for ctx.Err() == nil {
+		v := url.Values{"template": {template}}
+		if binding != "" {
+			v.Add("arg", binding)
+		}
+		if have {
+			v.Set("from", strconv.FormatUint(from, 10))
+			v.Set("gen", strconv.FormatUint(gen, 10))
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/watch?"+v.Encode(), nil)
+		if err != nil {
+			ws.errors++
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			ws.errors++
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ws.errors++
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ln struct {
+				Reset bool   `json:"reset"`
+				Epoch uint64 `json:"epoch"`
+				Gen   uint64 `json:"gen"`
+				Head  uint64 `json:"head"`
+			}
+			if json.Unmarshal(sc.Bytes(), &ln) != nil {
+				ws.errors++
+				continue
+			}
+			ws.lines++
+			switch {
+			case ln.Reset:
+				ws.resets++
+				from, gen, have = ln.Epoch, ln.Gen, true
+			case ln.Head > 0:
+				from, gen, have = ln.Head, ln.Gen, true
+			default:
+				ws.deltas++
+				from = ln.Epoch
+			}
+		}
+		resp.Body.Close()
+		if ctx.Err() == nil {
+			ws.reconnects++
+		}
+	}
 }

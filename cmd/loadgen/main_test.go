@@ -119,3 +119,44 @@ func TestMutationScheduleExactRatio(t *testing.T) {
 		}
 	}
 }
+
+// TestRunWithWatchers mixes watch subscribers into the run: mutation
+// churn on the watched predicate must reach them as answer deltas, with
+// no stream errors, and the summary reports the subscription counters.
+func TestRunWithWatchers(t *testing.T) {
+	ts := bootBackend(t)
+	out := filepath.Join(t.TempDir(), "summary.json")
+	rc := run([]string{
+		"-addr", ts.URL,
+		"-duration", "1s",
+		"-qps", "100",
+		"-concurrency", "4",
+		"-template", "ancestor(?, Y)",
+		"-args", "lk0",
+		"-mutation-ratio", "0.5",
+		"-mutation-pred", "parent",
+		"-watch", "2",
+		"-fail-on-error",
+		"-out", out,
+	})
+	if rc != 0 {
+		t.Fatalf("run rc %d, want 0", rc)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("bad summary %s: %v", data, err)
+	}
+	if sum.WatchSubscribers != 2 || sum.WatchResets < 2 {
+		t.Fatalf("summary %+v: want 2 subscribers, each with an initial reset", sum)
+	}
+	if sum.WatchDeltas == 0 {
+		t.Fatalf("summary %+v: watchers saw no answer deltas under churn on the watched cone", sum)
+	}
+	if sum.WatchErrors != 0 {
+		t.Fatalf("summary %+v: watch stream errors", sum)
+	}
+}

@@ -135,6 +135,15 @@ type diffState struct {
 	prepared map[string]*Prepared // sequential handles, one per query template
 	parallel map[string]*Prepared // Parallelism: 4 handles
 	mutation int                  // mutations applied so far (for failure reports)
+
+	// The materialized handle under differential test: its maintained
+	// answer is compared against a full oracle recompute after every
+	// mutation, and a change-log subscriber mirror is replayed alongside.
+	view        *Materialized
+	viewText    string // concrete query text for the oracle
+	mirror      map[string][]string
+	mirrorEpoch uint64
+	mirrorGen   uint64
 }
 
 func newDiffState(t testing.TB, c chooser) *diffState {
@@ -175,7 +184,106 @@ func newDiffState(t testing.TB, c chooser) *diffState {
 		}
 		s.parallel[q] = pp
 	}
+	// Materialize one live view per schedule: a random query template
+	// with random bindings, maintained differentially through every
+	// mutation the schedule performs.
+	vt := tmpl.queries[c.intn(len(tmpl.queries))]
+	consts := make([]string, countHoles(vt))
+	for i := range consts {
+		consts[i] = diffConsts[c.intn(len(diffConsts))]
+	}
+	vp := s.prepared[vt]
+	if vp == nil {
+		p, err := db.Prepare(vt, Options{})
+		if err != nil {
+			t.Fatalf("Prepare(%s) for view: %v", vt, err)
+		}
+		vp = p
+	}
+	m, err := vp.Materialize(consts...)
+	if err != nil {
+		t.Fatalf("Materialize(%s): %v", vt, err)
+	}
+	s.view = m
+	s.viewText = fillHoles(vt, consts)
+	rows, epoch, gen := m.State()
+	s.mirror = map[string][]string{}
+	for _, r := range rows {
+		s.mirror[rowKey(r)] = r
+	}
+	s.mirrorEpoch, s.mirrorGen = epoch, gen
+	s.checkView()
 	return s
+}
+
+// checkView compares the maintained answer set against a full oracle
+// recompute and replays the change log into the subscriber mirror,
+// which must converge to the same rows.
+func (s *diffState) checkView() {
+	s.t.Helper()
+	rows, epoch := s.view.Snapshot()
+	if len(rows) == 0 {
+		rows = nil
+	}
+	wantRows, wantTrue := s.oracleRows(s.viewText)
+	if len(s.view.Vars()) == 0 {
+		if got := s.view.True(); got != wantTrue {
+			s.t.Fatalf("after %d mutations (%s): view %s = %v, oracle %v",
+				s.mutation, s.tmpl.name, s.viewText, got, wantTrue)
+		}
+	} else if !reflect.DeepEqual(rows, wantRows) {
+		s.t.Fatalf("after %d mutations (%s): view %s\n got %v\nwant %v",
+			s.mutation, s.tmpl.name, s.viewText, rows, wantRows)
+	}
+	if epoch != s.db.FactEpoch() {
+		s.t.Fatalf("after %d mutations: view epoch %d, fact epoch %d",
+			s.mutation, epoch, s.db.FactEpoch())
+	}
+
+	// Subscriber mirror: resume from the last cursor; a stale cursor
+	// (recompute or ring overflow) resets from a fresh snapshot, exactly
+	// as a /v1/watch client would.
+	sets, ok := s.view.Changes(s.mirrorEpoch, s.mirrorGen)
+	if !ok {
+		fresh, e, g := s.view.State()
+		s.mirror = map[string][]string{}
+		for _, r := range fresh {
+			s.mirror[rowKey(r)] = r
+		}
+		s.mirrorEpoch, s.mirrorGen = e, g
+	} else {
+		for _, cs := range sets {
+			if cs.Epoch <= s.mirrorEpoch {
+				s.t.Fatalf("change log out of order: %d after cursor %d", cs.Epoch, s.mirrorEpoch)
+			}
+			for _, r := range cs.Removed {
+				k := rowKey(r)
+				if _, present := s.mirror[k]; !present {
+					s.t.Fatalf("change log removes absent row %v", r)
+				}
+				delete(s.mirror, k)
+			}
+			for _, r := range cs.Added {
+				k := rowKey(r)
+				if _, present := s.mirror[k]; present {
+					s.t.Fatalf("change log adds duplicate row %v", r)
+				}
+				s.mirror[k] = r
+			}
+			s.mirrorEpoch = cs.Epoch
+		}
+		if s.mirrorEpoch < epoch {
+			s.mirrorEpoch = epoch
+		}
+	}
+	if len(s.mirror) != len(rows) {
+		s.t.Fatalf("after %d mutations: mirror has %d rows, view %d", s.mutation, len(s.mirror), len(rows))
+	}
+	for _, r := range rows {
+		if _, present := s.mirror[rowKey(r)]; !present {
+			s.t.Fatalf("after %d mutations: mirror missing row %v", s.mutation, r)
+		}
+	}
 }
 
 // randomFact picks a base predicate and a constant vector.
@@ -204,6 +312,7 @@ func (s *diffState) assertOne(pred string, args []string) {
 	if got != want {
 		s.t.Fatalf("mutation %d: Assert(%s, %v) = %v, oracle %v", s.mutation, pred, args, got, want)
 	}
+	s.checkView()
 }
 
 func (s *diffState) retractOne(pred string, args []string) {
@@ -213,32 +322,62 @@ func (s *diffState) retractOne(pred string, args []string) {
 	if got != want {
 		s.t.Fatalf("mutation %d: Retract(%s, %v) = %v, oracle %v", s.mutation, pred, args, got, want)
 	}
+	s.checkView()
 }
 
 // applyBatch funnels several mutations through one Delta/Apply call.
+// Because a delta may touch the same fact more than once (including
+// assert-then-retract and retract-then-assert conflicts), the expected
+// ApplyResult is the NET effect: per touched fact, presence before the
+// delta versus presence after it.
 func (s *diffState) applyBatch() {
 	s.mutation++
 	d := &Delta{}
-	wantAsserted, wantRetracted := 0, 0
+	type presence struct{ before, after bool }
+	touched := map[string]*presence{}
 	n := 1 + s.c.intn(6)
 	for i := 0; i < n; i++ {
 		pred, args := s.randomFact()
+		syms := s.internArgs(args)
+		k := pred + "\x00" + fmt.Sprint(syms)
 		if s.c.intn(3) == 0 {
 			d.Retract(pred, args...)
-			if s.facts.Retract(pred, s.internArgs(args)) {
-				wantRetracted++
+			was := s.facts.Retract(pred, syms)
+			if p := touched[k]; p != nil {
+				p.after = false
+			} else {
+				touched[k] = &presence{before: was, after: false}
 			}
 		} else {
 			d.Assert(pred, args...)
-			if s.facts.Assert(pred, s.internArgs(args)) {
-				wantAsserted++
+			wasNew := s.facts.Assert(pred, syms)
+			if p := touched[k]; p != nil {
+				p.after = true
+			} else {
+				touched[k] = &presence{before: !wasNew, after: true}
 			}
 		}
 	}
+	wantAsserted, wantRetracted := 0, 0
+	for _, p := range touched {
+		switch {
+		case p.after && !p.before:
+			wantAsserted++
+		case p.before && !p.after:
+			wantRetracted++
+		}
+	}
+	epochBefore := s.db.FactEpoch()
 	res := s.db.Apply(d)
 	if res.Asserted != wantAsserted || res.Retracted != wantRetracted {
 		s.t.Fatalf("mutation %d: Apply = %+v, oracle wants {%d %d}", s.mutation, res, wantAsserted, wantRetracted)
 	}
+	moved := s.db.FactEpoch() != epochBefore
+	wantMove := wantAsserted+wantRetracted > 0
+	if moved != wantMove {
+		s.t.Fatalf("mutation %d: epoch moved=%v for net {%d %d}", s.mutation, moved, wantAsserted, wantRetracted)
+	}
+	s.checkView()
 }
 
 // fillHoles substitutes constants for '?' in a query template.
@@ -426,6 +565,13 @@ func runDifferential(t testing.TB, c chooser, steps int) {
 	}
 	for i := 0; i < steps; i++ {
 		s.step()
+	}
+	// The maintained view must agree with the oracle at the final state,
+	// and Close must detach it cleanly.
+	s.checkView()
+	s.view.Close()
+	if !s.view.Closed() || s.db.Views() != 0 {
+		t.Fatalf("view not detached: closed=%v views=%d", s.view.Closed(), s.db.Views())
 	}
 	// Every prepared handle answers once more at the final state.
 	for qt, p := range s.prepared {

@@ -139,5 +139,6 @@ func (db *DB) ingestEdges(relation string, read func(emit func(src, dst []byte) 
 		return IngestStats{}, err
 	}
 	db.bumpFactEpoch()
+	db.recomputeViewsLocked()
 	return IngestStats{Lines: lines, Edges: rel.Len()}, nil
 }

@@ -1,12 +1,16 @@
 package counting
 
 import (
+	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
 
 	"chainlog/internal/chaineval"
+	"chainlog/internal/edb"
 	"chainlog/internal/equations"
+	"chainlog/internal/naiveeval"
 	"chainlog/internal/parser"
 	"chainlog/internal/symtab"
 	"chainlog/internal/workload"
@@ -107,6 +111,99 @@ func TestCountingGrowthShapes(t *testing.T) {
 		if ratio < tc.min || ratio > tc.max {
 			t.Errorf("%s: work ratio = %.2f, want [%.1f, %.1f]", tc.name, ratio, tc.min, tc.max)
 		}
+	}
+}
+
+// TestCountingDifferentialOracle drives counting and reverse counting
+// through random mutation schedules, checking every post-mutation
+// evaluation against the textbook semi-naive reference — the same
+// oracle the engine's differential fuzz uses.
+func TestCountingDifferentialOracle(t *testing.T) {
+	const nodes = 10
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		st := symtab.NewTable()
+		res := parser.MustParse(workload.SGProgram, st)
+		sys, err := equations.Transform(res.Program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape, ok := sys.LinearDecompose("sg")
+		if !ok {
+			t.Fatal("sg does not decompose")
+		}
+		store := edb.NewStore(st)
+		facts := naiveeval.NewFacts()
+		a := st.Intern("n0")
+		sym := func(i int) symtab.Sym { return st.Intern(fmt.Sprintf("n%d", i)) }
+		preds := []string{"up", "flat", "down"}
+
+		check := func(step int) {
+			t.Helper()
+			src := chaineval.StoreSource{Store: store}
+			got, _ := Evaluate(shape, src, a, 0)
+			q := parser.MustParseQuery("sg(n0, Y)", st)
+			var want []symtab.Sym
+			for _, row := range naiveeval.Answer(res.Program, facts, st, q) {
+				want = append(want, row[0])
+			}
+			sortSyms(want)
+			norm := func(s []symtab.Sym) []symtab.Sym {
+				if len(s) == 0 {
+					return nil
+				}
+				return s
+			}
+			if !reflect.DeepEqual(norm(got), norm(want)) {
+				t.Fatalf("seed %d step %d: counting %v, oracle %v", seed, step, got, want)
+			}
+			rev, _ := EvaluateReverse(shape, src, a, 0)
+			if !reflect.DeepEqual(norm(rev), norm(want)) {
+				t.Fatalf("seed %d step %d: reverse counting %v, oracle %v", seed, step, rev, want)
+			}
+		}
+
+		// Seed a few facts, then mutate and re-check at every step.
+		for i := 0; i < 8; i++ {
+			p := preds[rng.Intn(len(preds))]
+			u, v := sym(rng.Intn(nodes)), sym(rng.Intn(nodes))
+			store.Insert(p, u, v)
+			facts.Assert(p, []symtab.Sym{u, v})
+		}
+		check(0)
+		for step := 1; step <= 20; step++ {
+			p := preds[rng.Intn(len(preds))]
+			u, v := sym(rng.Intn(nodes)), sym(rng.Intn(nodes))
+			if rng.Intn(3) == 0 {
+				store.Remove(p, u, v)
+				facts.Retract(p, []symtab.Sym{u, v})
+			} else {
+				store.Insert(p, u, v)
+				facts.Assert(p, []symtab.Sym{u, v})
+			}
+			check(step)
+		}
+	}
+}
+
+// The raw-CSR probe path must flush its batched statistics into the
+// store's CounterSet: retrieval accounting (FactsConsulted, the
+// optimizer's work feedback) would otherwise go blind to counting runs.
+func TestCountingStatsWired(t *testing.T) {
+	st := symtab.NewTable()
+	w := workload.SampleA(st, 16)
+	shape := sgShape(t, st)
+	before := w.Store.CountersSnapshot()
+	answers, _ := Evaluate(shape, chaineval.StoreSource{Store: w.Store}, w.Query, 0)
+	if len(answers) == 0 {
+		t.Fatal("no answers")
+	}
+	after := w.Store.CountersSnapshot()
+	if after.Lookups <= before.Lookups {
+		t.Fatalf("lookups not counted: %d -> %d", before.Lookups, after.Lookups)
+	}
+	if after.Retrieved <= before.Retrieved {
+		t.Fatalf("retrievals not counted: %d -> %d", before.Retrieved, after.Retrieved)
 	}
 }
 

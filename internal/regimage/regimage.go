@@ -14,20 +14,95 @@ import (
 
 	"chainlog/internal/automaton"
 	"chainlog/internal/chaineval"
+	"chainlog/internal/edb"
 	"chainlog/internal/expr"
 	"chainlog/internal/symtab"
 )
 
+// probeStat accumulates raw-path probe statistics for one transition
+// between flushes.
+type probeStat struct {
+	lookups, retrieved int64
+}
+
 // Evaluator computes images under one compiled expression.
+//
+// When the source exposes chaineval.RelationResolver (StoreSource
+// does), every base-predicate transition is resolved to its concrete
+// CSR relation once at compile time and probed through the raw
+// (uncounted) adjacency accessors — no per-probe name hashing, no
+// per-probe atomics. The probe statistics are accumulated locally and
+// flushed to the owning CounterSet once per public call, so retrieval
+// accounting (Stats.FactsConsulted, the optimizer's work feedback)
+// sees exactly the same totals as the by-name counted path.
 type Evaluator struct {
 	m   *automaton.NFA
 	src chaineval.Source
+	// rels[id] is the CSR relation behind transition id; nil entries
+	// (unresolvable predicate, or no resolver) use the by-name counted
+	// Source path, which performs its own accounting.
+	rels  []*edb.Relation
+	stats []probeStat
 }
 
 // New compiles e (which must not mention derived predicates) for the
 // given source.
 func New(e expr.Expr, src chaineval.Source) *Evaluator {
-	return &Evaluator{m: automaton.Compile(e), src: src}
+	ev := &Evaluator{m: automaton.Compile(e), src: src}
+	if rr, ok := src.(chaineval.RelationResolver); ok {
+		n := 0
+		for q := 0; q < ev.m.NumStates(); q++ {
+			ev.m.Out(q, func(id int, _ automaton.Trans) {
+				if id >= n {
+					n = id + 1
+				}
+			})
+		}
+		ev.rels = make([]*edb.Relation, n)
+		ev.stats = make([]probeStat, n)
+		for q := 0; q < ev.m.NumStates(); q++ {
+			ev.m.Out(q, func(id int, t automaton.Trans) {
+				if !t.Label.IsID() {
+					ev.rels[id] = rr.ResolveRelation(t.Label.Pred)
+				}
+			})
+		}
+	}
+	return ev
+}
+
+// probe returns the adjacency of u across transition id, through the
+// resolved CSR relation when available.
+func (ev *Evaluator) probe(id int, label automaton.Label, u symtab.Sym) []symtab.Sym {
+	if ev.rels != nil {
+		if rel := ev.rels[id]; rel != nil {
+			var out []symtab.Sym
+			if label.Inv {
+				out = rel.PredecessorsRaw(u)
+			} else {
+				out = rel.SuccessorsRaw(u)
+			}
+			s := &ev.stats[id]
+			s.lookups++
+			s.retrieved += int64(len(out))
+			return out
+		}
+	}
+	if label.Inv {
+		return ev.src.Predecessors(label.Pred, u)
+	}
+	return ev.src.Successors(label.Pred, u)
+}
+
+// flush publishes accumulated raw-path statistics to the owning
+// stores' counters, one batched add per touched transition.
+func (ev *Evaluator) flush() {
+	for i := range ev.stats {
+		if s := &ev.stats[i]; s.lookups != 0 || s.retrieved != 0 {
+			ev.rels[i].Counters().AddBatch(uint32(i), s.lookups, s.retrieved)
+			*s = probeStat{}
+		}
+	}
 }
 
 type node struct {
@@ -46,6 +121,9 @@ func (ev *Evaluator) Image(u symtab.Sym) []symtab.Sym {
 // calls (which is exactly the Henschen–Naqvi drawback the paper's sample
 // (c) exposes; the comparison methods call ImageSet once per level).
 func (ev *Evaluator) ImageSet(us []symtab.Sym) []symtab.Sym {
+	if ev.stats != nil {
+		defer ev.flush()
+	}
 	G := make(map[node]bool)
 	var stack []node
 	out := make(map[symtab.Sym]bool)
@@ -64,18 +142,13 @@ func (ev *Evaluator) ImageSet(us []symtab.Sym) []symtab.Sym {
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		ev.m.Out(n.q, func(_ int, t automaton.Trans) {
-			switch {
-			case t.Label.IsID():
+		ev.m.Out(n.q, func(id int, t automaton.Trans) {
+			if t.Label.IsID() {
 				visit(node{t.To, n.u})
-			case t.Label.Inv:
-				for _, v := range ev.src.Predecessors(t.Label.Pred, n.u) {
-					visit(node{t.To, v})
-				}
-			default:
-				for _, v := range ev.src.Successors(t.Label.Pred, n.u) {
-					visit(node{t.To, v})
-				}
+				return
+			}
+			for _, v := range ev.probe(id, t.Label, n.u) {
+				visit(node{t.To, v})
 			}
 		})
 	}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strconv"
 	"testing"
 	"time"
@@ -473,5 +474,81 @@ func TestSnapshotEndpoint(t *testing.T) {
 	ans, err := db2.Query("ancestor(maggie, Y)")
 	if err != nil || len(ans.Rows) == 0 {
 		t.Fatalf("restored DB query: %+v, err %v", ans, err)
+	}
+}
+
+// postDelta posts an ordered op batch to /v1/delta.
+func postDelta(t *testing.T, url string, ops []DeltaOp) (int, *MutationResponse) {
+	t.Helper()
+	status, body := postJSON(t, url+"/v1/delta", DeltaRequest{Ops: ops})
+	var mr MutationResponse
+	if status == http.StatusOK {
+		if err := json.Unmarshal(body, &mr); err != nil {
+			t.Fatalf("bad delta response %s: %v", body, err)
+		}
+	}
+	return status, &mr
+}
+
+// Conflicting operations on the same fact inside one delta must net out
+// identically on the primary (ApplyResult, at most one epoch move, WAL
+// append skipped when nothing changed) and on a replica replaying the
+// shipped record.
+func TestConflictingDeltaNetsAcrossReplication(t *testing.T) {
+	ps, primary, pdb := newPrimary(t, Config{})
+	_, replica, rdb := newReplica(t, primary.URL, Config{})
+	base := pdb.FactEpoch()
+
+	// Flip-flop on an absent fact: assert, retract, assert → net one
+	// assert and exactly one epoch move.
+	status, mr := postDelta(t, primary.URL, []DeltaOp{
+		{Op: "assert", Pred: "parent", Args: []string{"zeke", "yaya"}},
+		{Op: "retract", Pred: "parent", Args: []string{"zeke", "yaya"}},
+		{Op: "assert", Pred: "parent", Args: []string{"zeke", "yaya"}},
+	})
+	if status != http.StatusOK || mr.Asserted != 1 || mr.Retracted != 0 {
+		t.Fatalf("flip-flop delta: status %d, %+v, want net 1 assert", status, mr)
+	}
+	if mr.Epoch != base+1 {
+		t.Fatalf("flip-flop delta moved epoch to %d, want %d", mr.Epoch, base+1)
+	}
+
+	// Assert-then-retract of an absent fact nets to nothing: no epoch
+	// move and no WAL record.
+	walHead := ps.wal.LastEpoch()
+	status, mr = postDelta(t, primary.URL, []DeltaOp{
+		{Op: "assert", Pred: "parent", Args: []string{"gone", "gone"}},
+		{Op: "retract", Pred: "parent", Args: []string{"gone", "gone"}},
+	})
+	if status != http.StatusOK || mr.Asserted != 0 || mr.Retracted != 0 || mr.Epoch != base+1 {
+		t.Fatalf("net-zero delta: status %d, %+v, want no change at epoch %d", status, mr, base+1)
+	}
+	if got := ps.wal.LastEpoch(); got != walHead {
+		t.Fatalf("net-zero delta appended to the WAL: head %d -> %d", walHead, got)
+	}
+
+	// Retract-then-assert of a present fact is also a net no-op, mixed
+	// with a real insertion in the same batch → net 1 assert.
+	status, mr = postDelta(t, primary.URL, []DeltaOp{
+		{Op: "retract", Pred: "parent", Args: []string{"bart", "homer"}},
+		{Op: "assert", Pred: "parent", Args: []string{"bart", "homer"}},
+		{Op: "assert", Pred: "parent", Args: []string{"yaya", "xan"}},
+	})
+	if status != http.StatusOK || mr.Asserted != 1 || mr.Retracted != 0 {
+		t.Fatalf("mixed delta: status %d, %+v, want net 1 assert", status, mr)
+	}
+	if mr.Epoch != base+2 {
+		t.Fatalf("mixed delta at epoch %d, want %d", mr.Epoch, base+2)
+	}
+
+	// The replica replays the shipped gross ops and must land on the
+	// same epoch with the same answers.
+	waitFor(t, "replica to converge", func() bool { return rdb.FactEpoch() == mr.Epoch })
+	for _, q := range []string{"ancestor(bart, Y)", "ancestor(zeke, Y)", "parent(yaya, Y)"} {
+		_, pq := queryRows(t, primary.URL, QueryRequest{Query: q})
+		_, rq := queryRows(t, replica.URL, QueryRequest{Query: q})
+		if !reflect.DeepEqual(pq.Result.Rows, rq.Result.Rows) {
+			t.Fatalf("%s: primary %v, replica %v", q, pq.Result.Rows, rq.Result.Rows)
+		}
 	}
 }

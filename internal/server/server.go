@@ -87,6 +87,12 @@ type Config struct {
 	// Default 25s.
 	ReplicateWindow time.Duration
 
+	// WatchLinger keeps a watched view alive after its last subscriber
+	// disconnects, so a client that reconnects within the window resumes
+	// from its (from, gen) cursor instead of paying a snapshot reset.
+	// Default 1m; negative closes views on the last unsubscribe.
+	WatchLinger time.Duration
+
 	// SnapshotBytes is the auto-snapshot threshold: once this many WAL
 	// bytes accumulate past the newest snapshot, a snapshot is written
 	// in the background and covered segments are truncated. Default
@@ -125,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReplicateWindow == 0 {
 		c.ReplicateWindow = 25 * time.Second
+	}
+	if c.WatchLinger == 0 {
+		c.WatchLinger = time.Minute
 	}
 	if c.SnapshotBytes == 0 {
 		c.SnapshotBytes = 8 << 20
@@ -172,12 +181,18 @@ type Server struct {
 	replApplied   *metrics.Counter
 	replLag       *metrics.Gauge
 	replConnected *metrics.Gauge
+
+	// Watch state (see watch.go): refcounted live views shared across
+	// /v1/watch subscribers of the same (template, args).
+	watchMu   sync.Mutex
+	watches   map[watchKey]*watchEntry
+	watchSubs *metrics.Gauge
 }
 
 // endpoints names every instrumented route; per-endpoint histograms are
 // pre-registered so /metrics exposes the full set from the first scrape.
 var endpoints = []string{"query", "assert", "retract", "delta", "explain", "healthz", "metrics",
-	"replicate", "snapshot", "status", "promote"}
+	"replicate", "snapshot", "status", "promote", "watch"}
 
 // New builds a Server over the database.
 func New(cfg Config) (*Server, error) {
@@ -213,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 		drainCh:  make(chan struct{}),
 		epochCh:  make(chan struct{}),
 		wal:      cfg.WAL,
+		watches:  make(map[watchKey]*watchEntry),
 		// The tailer holds one long-poll connection at a time; no client
 		// timeout (the feed window bounds it), ctx cancels on shutdown.
 		replClient: &http.Client{},
@@ -251,6 +267,15 @@ func New(cfg Config) (*Server, error) {
 	reg.CounterFunc("chainlog_plan_reoptimizations_total",
 		"Plan re-optimizations performed by the cost-based optimizer.", "",
 		func() float64 { return float64(cfg.DB.Reoptimizations()) })
+	// View maintenance accounting: how often live views absorbed a delta
+	// incrementally versus fell back to a full recompute.
+	reg.CounterFunc("chainlog_view_maintained_total",
+		"Mutations absorbed incrementally by materialized views.", "",
+		func() float64 { m, _ := cfg.DB.ViewStats(); return float64(m) })
+	reg.CounterFunc("chainlog_view_recomputed_total",
+		"Full recomputes of materialized views (rule loads, restores, count underflow).", "",
+		func() float64 { _, r := cfg.DB.ViewStats(); return float64(r) })
+	s.watchSubs = reg.Gauge("chainlog_watch_subscribers", "Live /v1/watch subscribers.", "")
 	s.snapshots = reg.Counter("chainlogd_wal_snapshots_total", "WAL snapshots written (with segment truncation).", "")
 	s.replApplied = reg.Counter("chainlogd_replication_applied_total", "Replicated records applied by the tailer.", "")
 	s.replLag = reg.Gauge("chainlogd_replication_lag", "Epochs behind the primary's head (replicas; 0 when caught up).", "")
@@ -300,6 +325,10 @@ func (s *Server) Handler() http.Handler {
 	// a long-lived connection, and status/snapshot must answer even on a
 	// saturated node (that is when the operator needs them).
 	mux.Handle("GET /v1/replicate", s.instrument("replicate", false, s.handleReplicate))
+	// The watch feed is likewise a long-lived connection: counting it
+	// against MaxInFlight would let a handful of idle subscribers starve
+	// the query path.
+	mux.Handle("GET /v1/watch", s.instrument("watch", false, s.handleWatch))
 	mux.Handle("GET /v1/snapshot", s.instrument("snapshot", false, s.handleSnapshot))
 	mux.Handle("GET /v1/status", s.instrument("status", false, s.handleStatus))
 	mux.Handle("POST /v1/promote", s.instrument("promote", false, s.handlePromote))

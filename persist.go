@@ -149,6 +149,7 @@ func (db *DB) RestoreFacts(r io.Reader, epoch uint64) error {
 	db.store = store
 	db.bumpRuleEpoch()
 	db.factEpoch = epoch
+	db.recomputeViewsLocked()
 	return nil
 }
 

@@ -28,7 +28,7 @@ if [ "${1:-}" = "-count" ]; then
   shift 2
 fi
 
-PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFig7|BenchmarkFig8|BenchmarkTheorem3|BenchmarkTheorem4|BenchmarkPrepared|BenchmarkFlight|BenchmarkBatch|BenchmarkParallel|BenchmarkAdjOverlay|BenchmarkPlanChoice}"
+PATTERN="${BENCH_PATTERN:-BenchmarkTable1|BenchmarkFig7|BenchmarkFig8|BenchmarkTheorem3|BenchmarkTheorem4|BenchmarkPrepared|BenchmarkFlight|BenchmarkBatch|BenchmarkParallel|BenchmarkAdjOverlay|BenchmarkPlanChoice|BenchmarkMaterializedApply}"
 BENCHTIME="${BENCHTIME:-1s}"
 OUT="${1:-BENCH.json}"
 

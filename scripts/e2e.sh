@@ -122,13 +122,15 @@ expect "retract" 200 '"retracted":1'
 post /v1/query '{"template": "ancestor(?, Y)", "args": ["bart"]}' >/dev/null
 expect "query after retract" 200 '"rows":[["abe"],["homer"],["orville"]]'
 
-# 4. Ordered delta: assert two, retract one — nets to one new edge.
+# 4. Ordered delta: assert two, retract one — the insert-then-delete
+# pair cancels, so the reported counts are the net single assert and
+# the epoch moves exactly once.
 post /v1/delta '{"ops": [
   {"op": "assert",  "pred": "parent", "args": ["orville", "zeke"]},
   {"op": "assert",  "pred": "parent", "args": ["orville", "gone"]},
   {"op": "retract", "pred": "parent", "args": ["orville", "gone"]}
 ]}' >/dev/null
-expect "delta" 200 '"asserted":2,"retracted":1'
+expect "delta" 200 '"asserted":1,"retracted":0'
 
 post /v1/query '{"template": "ancestor(?, Y)", "args": ["bart"]}' >/dev/null
 expect "query after delta" 200 '"rows":[["abe"],["homer"],["orville"],["zeke"]]'
@@ -225,8 +227,62 @@ fi
 post /v1/query '{"template": "ancestor(?, Y)", "args": ["bart"], "timeout_ms": 1000}' >/dev/null
 expect "deadline-carrying query" 200 '"rows":'
 
+# 10. Live view subscription: subscribe to /v1/watch, mutate, read the
+# exact delta lines, then reconnect with the heartbeat cursor and check
+# only the missed delta is replayed — no duplicates, no reset.
+WATCH_URL="$BASE/v1/watch?template=ancestor(%3F,%20Y)&arg=bart"
+: >"$TMP/watch1"
+curl -sSN --max-time 20 "$WATCH_URL" >"$TMP/watch1" 2>/dev/null &
+WATCH_PID=$!
+watch_wait() { # watch_wait <file> <fixed-string> <label>
+  local file="$1" want="$2" label="$3"
+  for i in $(seq 1 100); do
+    if grep -qF -- "$want" "$file" 2>/dev/null; then
+      echo "e2e: ok: $label"
+      return 0
+    fi
+    sleep 0.1
+  done
+  fail "$label: $(cat "$file" 2>/dev/null)"
+  return 1
+}
+watch_wait "$TMP/watch1" '"reset":true' "watch reset line"
+watch_wait "$TMP/watch1" '"rows":[["abe"],["homer"],["orville"],["zeke"]]' "watch snapshot rows"
+
+post /v1/assert '{"facts": [{"pred": "parent", "args": ["orville", "watchkid"]}]}' >/dev/null
+expect "watch-session assert" 200 '"asserted":1'
+watch_wait "$TMP/watch1" '"added":[["watchkid"]]' "watch delta (added)"
+
+post /v1/retract '{"facts": [{"pred": "parent", "args": ["orville", "watchkid"]}]}' >/dev/null
+expect "watch-session retract" 200 '"retracted":1'
+watch_wait "$TMP/watch1" '"removed":[["watchkid"]]' "watch delta (removed)"
+
+HB=$(grep '"head":' "$TMP/watch1" | tail -1)
+CURSOR=$(echo "$HB" | grep -o '"head":[0-9]*' | cut -d: -f2)
+GEN=$(echo "$HB" | grep -o '"gen":[0-9]*' | cut -d: -f2)
+kill "$WATCH_PID" 2>/dev/null || true
+wait "$WATCH_PID" 2>/dev/null || true
+if [ -z "$CURSOR" ] || [ -z "$GEN" ]; then
+  fail "watch heartbeat carried no resume cursor: $HB"
+else
+  # Mutate while disconnected, then resume from the cursor.
+  post /v1/assert '{"facts": [{"pred": "parent", "args": ["orville", "watchkid2"]}]}' >/dev/null
+  expect "watch-offline assert" 200 '"asserted":1'
+  curl -sSN --max-time 2 "$WATCH_URL&from=$CURSOR&gen=$GEN" >"$TMP/watch2" 2>/dev/null || true
+  if ! grep -qF '"added":[["watchkid2"]]' "$TMP/watch2"; then
+    fail "watch resume missed the offline delta: $(cat "$TMP/watch2")"
+  elif grep -qF '"reset":true' "$TMP/watch2"; then
+    fail "in-window watch resume forced a reset: $(cat "$TMP/watch2")"
+  elif grep -qF '"added":[["watchkid"]]' "$TMP/watch2" || grep -qF '"removed"' "$TMP/watch2"; then
+    fail "watch resume replayed already-delivered deltas: $(cat "$TMP/watch2")"
+  else
+    echo "e2e: ok: watch resume replayed exactly the missed delta"
+  fi
+  post /v1/retract '{"facts": [{"pred": "parent", "args": ["orville", "watchkid2"]}]}' >/dev/null
+fi
+
 if [ -z "${E2E_EXTERNAL:-}" ]; then
-  # 10. Graceful drain: SIGTERM must exit 0 after finishing in-flight work.
+  # 11. Graceful drain: SIGTERM must exit 0 after finishing in-flight work.
   kill -TERM "$PID"
   RC=0
   wait "$PID" || RC=$?
