@@ -250,8 +250,9 @@ func BenchmarkFlight(b *testing.B) {
 // the Section 4 join case the plan-choice corpus gates: same-carrier
 // connectivity over a single-carrier cycle. The free carrier variable
 // fails the chain condition and the bound seed reaches every airport,
-// so the rewriting restricts nothing; runtime feedback observes the
-// full-fixpoint retrieval count and flips the auto plan to seminaive.
+// so no route restricts anything; runtime feedback re-prices the
+// mispredicted routes from their measured retrieval counts and the
+// auto plan settles on the measured best (the qsq net since PR 10).
 func BenchmarkPlanChoice(b *testing.B) {
 	const cycle = 100
 	mk := func(b *testing.B) *DB {

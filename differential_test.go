@@ -3,6 +3,7 @@ package chainlog
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -122,6 +123,23 @@ sg3(T, X, Y) :- up3(T, X, X1), sg3(T, X1, Y1), down3(T, Y1, Y).
 // with existing facts and retracts often hit.
 var diffConsts = [...]string{"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"}
 
+// forcedStrategy reads the CHAINLOG_FORCE_STRATEGY environment override:
+// the strategy-matrix CI job sets it to pin every handle and one-shot of
+// the differential suite to one strategy, so a strategy-specific
+// regression fails in the job named after it. Unset means the schedule's
+// usual mixed-surface coverage.
+func forcedStrategy(t testing.TB) (Strategy, bool) {
+	name := os.Getenv("CHAINLOG_FORCE_STRATEGY")
+	if name == "" {
+		return Auto, false
+	}
+	s, err := ParseStrategy(name)
+	if err != nil {
+		t.Fatalf("CHAINLOG_FORCE_STRATEGY: %v", err)
+	}
+	return s, true
+}
+
 // diffState is one differential run: the engine DB, the oracle's program
 // ast and fact mirror, and the prepared handles that must survive every
 // mutation of the schedule.
@@ -134,7 +152,13 @@ type diffState struct {
 	tmpl     diffTemplate
 	prepared map[string]*Prepared // sequential handles, one per query template
 	parallel map[string]*Prepared // Parallelism: 4 handles
+	qsq      map[string]*Prepared // Strategy: QSQNet handles
 	mutation int                  // mutations applied so far (for failure reports)
+
+	// force pins every surface to one strategy (the strategy-matrix CI
+	// job); forced reports whether the override is active.
+	force  Strategy
+	forced bool
 
 	// The materialized handle under differential test: its maintained
 	// answer is compared against a full oracle recompute after every
@@ -165,6 +189,14 @@ func newDiffState(t testing.TB, c chooser) *diffState {
 		tmpl:     tmpl,
 		prepared: map[string]*Prepared{},
 		parallel: map[string]*Prepared{},
+		qsq:      map[string]*Prepared{},
+	}
+	s.force, s.forced = forcedStrategy(t)
+	// The dedicated goal-directed handles pin QSQNet — except under a
+	// strategy override, which owns every surface including these.
+	qsqStrategy := QSQNet
+	if s.forced {
+		qsqStrategy = s.force
 	}
 	// Prepare every query template up front: these handles live through
 	// the whole schedule, so each Run after a mutation exercises the
@@ -173,16 +205,21 @@ func newDiffState(t testing.TB, c chooser) *diffState {
 		if !strings.Contains(q, "?") {
 			continue
 		}
-		p, err := db.Prepare(q, Options{})
+		p, err := db.Prepare(q, Options{Strategy: s.force})
 		if err != nil {
 			t.Fatalf("Prepare(%s): %v", q, err)
 		}
 		s.prepared[q] = p
-		pp, err := db.Prepare(q, Options{Parallelism: 4})
+		pp, err := db.Prepare(q, Options{Strategy: s.force, Parallelism: 4})
 		if err != nil {
 			t.Fatalf("Prepare(%s, par): %v", q, err)
 		}
 		s.parallel[q] = pp
+		qp, err := db.Prepare(q, Options{Strategy: qsqStrategy})
+		if err != nil {
+			t.Fatalf("Prepare(%s, qsq): %v", q, err)
+		}
+		s.qsq[q] = qp
 	}
 	// Materialize one live view per schedule: a random query template
 	// with random bindings, maintained differentially through every
@@ -194,7 +231,7 @@ func newDiffState(t testing.TB, c chooser) *diffState {
 	}
 	vp := s.prepared[vt]
 	if vp == nil {
-		p, err := db.Prepare(vt, Options{})
+		p, err := db.Prepare(vt, Options{Strategy: s.force})
 		if err != nil {
 			t.Fatalf("Prepare(%s) for view: %v", vt, err)
 		}
@@ -454,11 +491,11 @@ func (s *diffState) query() {
 	text := fillHoles(qt, consts)
 
 	p := s.prepared[qt]
-	mode := s.c.intn(6)
+	mode := s.c.intn(8)
 	switch {
 	case mode == 0 || p == nil:
 		// One-shot through the plan cache.
-		ans, err := s.db.Query(text)
+		ans, err := s.db.QueryOpts(text, Options{Strategy: s.force})
 		if err != nil {
 			s.t.Fatalf("Query(%s): %v", text, err)
 		}
@@ -526,16 +563,79 @@ func (s *diffState) query() {
 		if !reflect.DeepEqual(rows, wantRows) {
 			s.t.Fatalf("after %d mutations (%s): %s [stream]\n got %v\nwant %v", s.mutation, s.tmpl.name, text, rows, wantRows)
 		}
-	default:
-		// A bottom-up baseline strategy for cross-strategy agreement —
-		// plus Auto, so the fuzzer also proves the cost-based optimizer
-		// can never change an answer, only a route.
-		strat := []Strategy{Seminaive, Magic, Auto}[s.c.intn(3)]
+	case mode == 5:
+		// A cross-strategy one-shot: the bottom-up baselines, the
+		// goal-directed net and Auto, so the fuzzer also proves the
+		// cost-based optimizer can never change an answer, only a route.
+		// Under a forced override the pin owns this surface too.
+		strat := []Strategy{Seminaive, Magic, Auto, QSQNet}[s.c.intn(4)]
+		if s.forced {
+			strat = s.force
+		}
 		ans, err := s.db.QueryOpts(text, Options{Strategy: strat})
 		if err != nil {
 			s.t.Fatalf("QueryOpts(%s, %v): %v", text, strat, err)
 		}
 		s.checkAnswer(strat.String(), text, ans)
+	case mode == 6:
+		// The goal-directed prepared handle, alive since before any
+		// mutation: its compiled net must survive fact churn in place.
+		ans, err := s.qsq[qt].Run(consts...)
+		if err != nil {
+			s.t.Fatalf("qsq Run(%s): %v", text, err)
+		}
+		s.checkAnswer("qsq prepared", text, ans)
+	default:
+		// The goal-directed handle through the remaining surfaces: batch
+		// and the streaming entry point (which falls back to the
+		// materializing path for non-chain plans — the fallback is the
+		// surface under test).
+		qp := s.qsq[qt]
+		if s.c.intn(2) == 0 {
+			sets := [][]string{consts}
+			for extra := s.c.intn(3); extra > 0; extra-- {
+				more := make([]string, nh)
+				for i := range more {
+					more[i] = diffConsts[s.c.intn(len(diffConsts))]
+				}
+				sets = append(sets, more)
+			}
+			answers, err := qp.RunBatch(sets)
+			if err != nil {
+				s.t.Fatalf("qsq RunBatch(%s): %v", qt, err)
+			}
+			for i, ans := range answers {
+				s.checkAnswer("qsq batch", fillHoles(qt, sets[i]), ans)
+			}
+			return
+		}
+		if len(qp.Vars()) == 0 {
+			ans, err := qp.Run(consts...)
+			if err != nil {
+				s.t.Fatalf("qsq Run(%s): %v", text, err)
+			}
+			s.checkAnswer("qsq prepared", text, ans)
+			return
+		}
+		var rows [][]string
+		err := qp.RunSymsFunc(func(row []symtab.Sym) {
+			out := make([]string, len(row))
+			for i, v := range row {
+				out[i] = s.db.Name(v)
+			}
+			rows = append(rows, out)
+		}, s.internArgs(consts)...)
+		if err != nil {
+			s.t.Fatalf("qsq RunSymsFunc(%s): %v", text, err)
+		}
+		sortRows(rows)
+		wantRows, _ := s.oracleRows(text)
+		if len(rows) == 0 {
+			rows = nil
+		}
+		if !reflect.DeepEqual(rows, wantRows) {
+			s.t.Fatalf("after %d mutations (%s): %s [qsq stream]\n got %v\nwant %v", s.mutation, s.tmpl.name, text, rows, wantRows)
+		}
 	}
 }
 

@@ -50,6 +50,9 @@ func (db *DB) ExplainOpts(query string, opts Options) (string, error) {
 
 	if query != "" && info.Derived[q.Pred] {
 		b.WriteString("\nplan choice:\n")
+		// The binding pattern drives every strategy decision (it decides
+		// whether bindings can prune at all), so it is part of the record.
+		fmt.Fprintf(&b, "adornment: %s\n", q.Adornment())
 		if opts.Strategy != Auto {
 			fmt.Fprintf(&b, "strategy %s pinned by Options.Strategy (optimizer bypassed)\n", opts.Strategy)
 		} else if opts.Strict {
@@ -92,7 +95,12 @@ func (db *DB) explainRouteLocked(b *strings.Builder, info *analysis.Info, query 
 	// Section 4 route.
 	ap, err := adorn.Adorn(db.prog, q)
 	if err != nil {
-		return err
+		// Outside the adorned linear class (e.g. nonlinear recursion):
+		// magic and the Section 4 transformation are unavailable, but the
+		// general strategies still evaluate the query, so explain reports
+		// the rejection instead of failing.
+		fmt.Fprintf(b, "adorned program unavailable: %v\n", err)
+		return nil
 	}
 	fmt.Fprintf(b, "adorned program (query %s):\n%s", ap.Query, ap.Render())
 	if err := ap.ChainCheck(); err != nil {

@@ -190,11 +190,11 @@ edge(a, b). edge(b, c). edge(c, d).
 	e := func(a, b string) Fact {
 		return Fact{Pred: "edge", Args: []symtab.Sym{h.sym(a), h.sym(b)}}
 	}
-	h.apply([]Fact{e("d", "e")}, nil)              // extend the chain
-	h.apply(nil, []Fact{e("b", "c")})              // cut it in the middle
-	h.apply([]Fact{e("b", "c")}, nil)              // restore
-	h.apply([]Fact{e("e", "a")}, nil)              // close a cycle
-	h.apply(nil, []Fact{e("c", "d")})              // break the cycle
+	h.apply([]Fact{e("d", "e")}, nil)                 // extend the chain
+	h.apply(nil, []Fact{e("b", "c")})                 // cut it in the middle
+	h.apply([]Fact{e("b", "c")}, nil)                 // restore
+	h.apply([]Fact{e("e", "a")}, nil)                 // close a cycle
+	h.apply(nil, []Fact{e("c", "d")})                 // break the cycle
 	h.apply([]Fact{e("a", "c")}, []Fact{e("a", "b")}) // mixed delta
 }
 

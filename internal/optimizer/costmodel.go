@@ -30,6 +30,27 @@ var (
 	// fixpoint: seminaive's bookkeeping plus the magic-predicate joins.
 	CostMagicFact = 5.0
 
+	// CostQSQFact is the charge per fact the QSQ-net evaluator consults.
+	// Measured per-retrieval below CostSeminaiveFact: the net's rounds
+	// are delta-pinned and its joins run against memoized answer tables,
+	// where the whole-program fixpoint re-probes full relations each
+	// round — on the carrier-cycle corpus case both consult ~the same
+	// fact count and the net is ~1.4x faster wall-clock. It must stay
+	// above the chain constants (the traversal is still the fast path
+	// when it compiles) and below CostMagicFact (same restricted fact
+	// set, no rewritten-predicate joins).
+	CostQSQFact = 2.2
+
+	// CostQSQNode is the per-node charge of the selective QSQ route on
+	// top of its retrievals: every subquery the net opens pays an
+	// input-table subsumption check and its answers pay table dedup —
+	// several times a chain traversal's visited-set test. Outside the
+	// direct binary-chain class it scales by CostSection4Node exactly
+	// like the chain route's node charge, so on bound Section 4 queries
+	// the model keeps the tuple-term traversal ahead of the net,
+	// matching its ~2x measured wall-clock edge there.
+	CostQSQNode = 4.0
+
 	// CostSection4Node scales the chain-route charges when the query
 	// needs the Section 4 n-ary-to-binary transformation: every
 	// traversal step interns and decodes tuple terms instead of walking

@@ -1,6 +1,7 @@
 // Package optimizer chooses among the engine's answer-equivalent
 // evaluation routes — the paper's chain traversal, bottom-up seminaive,
-// and the magic-sets rewriting — by costing each against per-relation
+// the magic-sets rewriting, and the goal-directed QSQ net — by costing
+// each against per-relation
 // statistics (internal/stats). It deliberately enumerates only
 // strategies that are defined for every query shape: the
 // shape-restricted specializations (counting, Henschen–Naqvi, Hunt)
@@ -24,6 +25,7 @@ const (
 	StrategyChain     = "chain"
 	StrategySeminaive = "seminaive"
 	StrategyMagic     = "magic"
+	StrategyQSQNet    = "qsqnet"
 )
 
 // Input describes one query template to cost.
@@ -53,6 +55,12 @@ type Input struct {
 	// program/query (it rejects, e.g., rules with two derived body
 	// literals); when false the magic alternative is not enumerated.
 	MagicAvailable bool
+	// QSQAvailable reports that the goal-directed QSQ net compiles for
+	// this program/query. Unlike magic it accepts arbitrary Datalog
+	// (nonlinear and mutual recursion included), so it is usually true
+	// for derived queries; compile can still reject on structural
+	// grounds (adornment/arity mismatch).
+	QSQAvailable bool
 	// Recursive reports whether the relevant program slice is recursive;
 	// non-recursive queries are one join pass for every route.
 	Recursive bool
@@ -174,12 +182,15 @@ func Choose(in Input) *Decision {
 	if in.MagicAvailable {
 		alts = append(alts, magicAlternative(in, g))
 	}
+	if in.QSQAvailable {
+		alts = append(alts, qsqAlternative(in, g))
+	}
 	if in.ChainAvailable {
 		alts = append([]Alternative{chainAlternative(in, g)}, alts...)
 	}
 	for i := range alts {
 		if w, ok := in.Observed[alts[i].Strategy]; ok && w > 0 {
-			alts[i].Cost = CostStartup + w*perFactCost(alts[i].Strategy)
+			alts[i].Cost = CostStartup + w*perFactCost(alts[i].Strategy, in)
 			alts[i].Detail += fmt.Sprintf("; recalibrated from %.4g observed retrievals/run", w)
 		}
 	}
@@ -219,13 +230,24 @@ func Choose(in Input) *Decision {
 
 // perFactCost is the modeled cost of one extensional retrieval under
 // each strategy — the conversion rate between observed FactsConsulted
-// and the cost scale the alternatives are compared on.
-func perFactCost(strategy string) float64 {
+// and the cost scale the alternatives are compared on. The chain rate
+// depends on the route: on the Section 4 transformation every frontier
+// step interns and decodes tuple terms, so a retrieval there costs a
+// node's worth of work, not a flat CSR probe. The net's rate does not
+// scale the same way — its per-retrieval work is a join against a
+// memoized answer table regardless of tuple width, and the carrier
+// cycle measures it below even seminaive's rate on an n-ary program.
+func perFactCost(strategy string, in Input) float64 {
 	switch strategy {
 	case StrategyChain:
+		if !in.DirectChain {
+			return CostChainEdge * CostSection4Node
+		}
 		return CostChainEdge
 	case StrategyMagic:
 		return CostMagicFact
+	case StrategyQSQNet:
+		return CostQSQFact
 	default:
 		return CostSeminaiveFact
 	}
@@ -322,6 +344,40 @@ func magicAlternative(in Input, g graphShape) Alternative {
 	}
 }
 
+func qsqAlternative(in Input, g graphShape) Alternative {
+	if !g.selective {
+		// No bindings to push: the net's subquery tables cannot prune and
+		// the evaluation degenerates to the whole-program fixpoint — same
+		// fact count as seminaive, cheaper per fact (delta-pinned rounds
+		// against memoized answer tables).
+		return Alternative{
+			Strategy: StrategyQSQNet,
+			Cost:     CostStartup + fixpointFacts(in, g)*CostQSQFact,
+			Detail:   "goal-directed QSQ net (no bindings to restrict by)",
+		}
+	}
+	// Bindings restrict the net to the goal-reachable subgraph — the same
+	// restriction estimate as magic, at a lower per-fact price because no
+	// rewritten magic predicates join along. Each node additionally pays
+	// the net's table bookkeeping (input-table subsumption check, answer
+	// dedup), and outside the direct binary-chain class the subqueries
+	// carry n-ary tuples, so the node term scales the same way the chain
+	// route's does — which keeps the tuple-term chain traversal ahead on
+	// bound Section 4 queries, matching its ~2x measured wall-clock edge.
+	nodes, edges := chainTraversal(g)
+	perNode := CostQSQNode
+	detail := "goal-directed QSQ net with memoized subquery tables"
+	if !in.DirectChain {
+		perNode *= CostSection4Node
+		detail = "Section 4 n-ary QSQ net with memoized subquery tables"
+	}
+	return Alternative{
+		Strategy: StrategyQSQNet,
+		Cost:     CostStartup + nodes*perNode + edges*CostQSQFact,
+		Detail:   detail,
+	}
+}
+
 // estWork is the expected FactsConsulted of the chosen route, the
 // baseline runtime feedback compares observations against.
 func estWork(strategy string, in Input, g graphShape) float64 {
@@ -335,7 +391,7 @@ func estWork(strategy string, in Input, g graphShape) float64 {
 			return g.freeEnumSeeds * edges
 		}
 		return edges
-	case StrategyMagic:
+	case StrategyMagic, StrategyQSQNet:
 		if g.selective {
 			_, edges := chainTraversal(g)
 			return edges

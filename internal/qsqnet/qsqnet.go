@@ -1,0 +1,834 @@
+// Package qsqnet implements Query-Subquery Net evaluation (Nguyen &
+// Cao's QSQ-net formulation of QSQR) for arbitrary safe Datalog: a
+// goal-directed, memoizing strategy that sits between the paper's
+// chain traversal (fast, chain subset only) and whole-program
+// bottom-up (general, binding-blind).
+//
+// The net is compiled once per (program, query adornment): one node
+// per adorned intensional predicate, holding the predicate's rules
+// with a fixed bound-first evaluation order, the statically known
+// bound-argument mask of every body step, and — for intensional body
+// steps — the adorned key of the subquery the step generates. Nodes
+// are discovered by breadth-first search over (predicate, adornment)
+// pairs from the query's own adornment, so only binding patterns the
+// evaluation can actually reach are compiled; the set is finite
+// (bounded by 2^arity per predicate) and the compiled Net depends only
+// on the rules, never on the facts — it is the shareable part of a
+// prepared plan.
+//
+// Evaluation memoizes two families of tables: input tables (one per
+// adorned predicate, holding the bound-argument tuples of generated
+// subqueries) and answer tables (one per intensional predicate,
+// holding derived facts, shared across adornments — every entry is a
+// true fact, so sharing only prunes repeated work). Termination is by
+// subsumption under a fixed adornment: a subquery or answer equal to a
+// memoized one is not reprocessed, and both table families are finite
+// over the active domain. New answers propagate semi-naively: each
+// round re-evaluates only (rule, input, delta-pinned step)
+// combinations where the pinned intensional step ranges over the
+// answers added since the previous round, so quiescent parts of the
+// net cost nothing.
+package qsqnet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"chainlog/internal/ast"
+	"chainlog/internal/bottomup"
+	"chainlog/internal/ctxpoll"
+	"chainlog/internal/edb"
+	"chainlog/internal/symtab"
+)
+
+// Stats reports the work one evaluation performed, in the same
+// abstract units the other strategies use.
+type Stats struct {
+	// Rounds is the number of semi-naive propagation rounds.
+	Rounds int
+	// Subqueries is the number of distinct (adorned predicate, bound
+	// tuple) subqueries memoized in the input tables.
+	Subqueries int
+	// Answers is the number of distinct facts derived into the answer
+	// tables (across every predicate the goal touched).
+	Answers int64
+	// Firings is the number of successful rule instantiations.
+	Firings int64
+}
+
+// Net is the compiled query-subquery net for one program and one root
+// adornment. It is immutable after Compile and safe for concurrent
+// Eval calls, each of which builds its own tables.
+type Net struct {
+	pred    string
+	adorn   string
+	nodes   []*node
+	byKey   map[string]*node
+	derived map[string]bool
+	arities map[string]int
+	// ansMasks lists, per intensional predicate, the statically known
+	// bound-argument masks with which rule bodies probe its answer
+	// table; Eval registers a hash index per mask.
+	ansMasks map[string][]uint32
+	// preds is the sorted set of intensional predicates reachable from
+	// the root, the iteration order of the semi-naive rounds.
+	preds []string
+}
+
+// Pred and Adornment identify the net's root goal.
+func (n *Net) Pred() string      { return n.pred }
+func (n *Net) Adornment() string { return n.adorn }
+
+// Nodes reports the number of adorned-predicate nodes the net compiled
+// (explain output).
+func (n *Net) Nodes() int { return len(n.nodes) }
+
+// node is one adorned intensional predicate: the input-table side of
+// the net (subqueries with this binding pattern) plus the compiled
+// rules that answer them.
+type node struct {
+	key   string
+	pred  string
+	adorn string
+	rules []*crule
+}
+
+// argRef is a compiled literal argument: a constant, or a variable
+// slot in the rule's substitution frame.
+type argRef struct {
+	slot int // -1 for a constant
+	cnst symtab.Sym
+}
+
+// cstep is one body literal in the rule's fixed evaluation order.
+type cstep struct {
+	lit  ast.Literal
+	args []argRef
+	// builtin marks a comparison step (evaluated as a filter; all its
+	// variables are bound by the time the order reaches it).
+	builtin bool
+	// intensional marks a step over a derived predicate, answered from
+	// the answer tables; subKey is the adorned input table its
+	// subqueries feed.
+	intensional bool
+	subKey      string
+	subAdorn    string
+	// mask has bit i set when argument i is statically bound at this
+	// step (a constant, or a variable bound by the head input or an
+	// earlier step). boundRefs lists the bound arguments in position
+	// order, matching edb.Relation.MatchEach's calling convention.
+	mask      uint32
+	boundRefs []argRef
+}
+
+// crule is one rule compiled under a head adornment.
+type crule struct {
+	rule  ast.Rule
+	nvars int
+	// inBind maps the adornment's bound head positions onto the frame:
+	// a slot to assign from the input tuple, or a constant the input
+	// must equal.
+	inBind []argRef
+	// head builds the derived fact from the completed frame.
+	head []argRef
+	// steps is the body in fixed bound-first order.
+	steps []cstep
+}
+
+// Compile builds the net for a query over pred with the given b/f
+// adornment. The program's facts play no part: the net depends only on
+// the rules, so a compiled net survives fact churn.
+func Compile(prog *ast.Program, pred string, adornment string) (*Net, error) {
+	arities, err := prog.Arities()
+	if err != nil {
+		return nil, fmt.Errorf("qsqnet: %w", err)
+	}
+	derived := prog.DerivedSet()
+	if !derived[pred] {
+		return nil, fmt.Errorf("qsqnet: %s is not an intensional predicate", pred)
+	}
+	if ar, ok := arities[pred]; ok && ar != len(adornment) {
+		return nil, fmt.Errorf("qsqnet: adornment %s does not match %s/%d", adornment, pred, ar)
+	}
+	n := &Net{
+		pred:     pred,
+		adorn:    adornment,
+		byKey:    map[string]*node{},
+		derived:  derived,
+		arities:  arities,
+		ansMasks: map[string][]uint32{},
+	}
+	maskSeen := map[string]map[uint32]bool{}
+	predSeen := map[string]bool{}
+
+	queue := []*node{{key: adornedKey(pred, adornment), pred: pred, adorn: adornment}}
+	n.byKey[queue[0].key] = queue[0]
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		n.nodes = append(n.nodes, nd)
+		if !predSeen[nd.pred] {
+			predSeen[nd.pred] = true
+			n.preds = append(n.preds, nd.pred)
+		}
+		for _, r := range prog.RulesFor(nd.pred) {
+			cr, subs, err := compileRule(r, nd.adorn, derived, arities)
+			if err != nil {
+				return nil, err
+			}
+			if cr == nil {
+				// Dead rule (not range-restricted, or an unsatisfiable
+				// built-in): derives nothing under bottom-up semantics,
+				// so the net drops it for answer-equivalence with the
+				// general strategies.
+				continue
+			}
+			nd.rules = append(nd.rules, cr)
+			for si := range cr.steps {
+				s := &cr.steps[si]
+				if !s.intensional {
+					continue
+				}
+				if maskSeen[s.lit.Pred] == nil {
+					maskSeen[s.lit.Pred] = map[uint32]bool{}
+				}
+				if !maskSeen[s.lit.Pred][s.mask] {
+					maskSeen[s.lit.Pred][s.mask] = true
+					n.ansMasks[s.lit.Pred] = append(n.ansMasks[s.lit.Pred], s.mask)
+				}
+			}
+			for _, sub := range subs {
+				if n.byKey[sub.key] == nil {
+					n.byKey[sub.key] = sub
+					queue = append(queue, sub)
+				}
+			}
+		}
+	}
+	sort.Strings(n.preds)
+	return n, nil
+}
+
+func adornedKey(pred, adorn string) string { return pred + "^" + adorn }
+
+// compileRule fixes a rule's evaluation order under a head adornment.
+// It returns nil (no error) for rules bottom-up evaluation could never
+// fire: a head variable appearing in no body atom (non-range-
+// restricted — the input binding must not conjure answers the general
+// strategies would not derive), or a built-in whose variables no atom
+// binds. subs lists the adorned nodes of the rule's intensional steps.
+func compileRule(r ast.Rule, adorn string, derived map[string]bool, arities map[string]int) (*crule, []*node, error) {
+	if len(r.Head.Args) != len(adorn) {
+		return nil, nil, fmt.Errorf("qsqnet: rule head %s/%d under adornment %s", r.Head.Pred, len(r.Head.Args), adorn)
+	}
+	slots := map[string]int{}
+	slotOf := func(v string) int {
+		s, ok := slots[v]
+		if !ok {
+			s = len(slots)
+			slots[v] = s
+		}
+		return s
+	}
+	ref := func(t ast.Term) argRef {
+		if t.IsVar() {
+			return argRef{slot: slotOf(t.Var)}
+		}
+		return argRef{slot: -1, cnst: t.Const}
+	}
+
+	// Range restriction: every head variable must occur in a body atom,
+	// or the rule derives nothing bottom-up.
+	bodyVars := map[string]bool{}
+	for _, l := range r.Body {
+		if l.IsBuiltin() {
+			continue
+		}
+		for _, a := range l.Args {
+			if a.IsVar() {
+				bodyVars[a.Var] = true
+			}
+		}
+	}
+	for _, a := range r.Head.Args {
+		if a.IsVar() && !bodyVars[a.Var] {
+			return nil, nil, nil
+		}
+	}
+
+	cr := &crule{rule: r}
+	bound := map[string]bool{}
+	for i, c := range adorn {
+		a := r.Head.Args[i]
+		switch c {
+		case 'b':
+			cr.inBind = append(cr.inBind, ref(a))
+			if a.IsVar() {
+				bound[a.Var] = true
+			}
+		case 'f':
+			// Free head position: nothing to bind.
+		default:
+			return nil, nil, fmt.Errorf("qsqnet: bad adornment %q", adorn)
+		}
+	}
+
+	// Greedy bound-first order, mirroring the bottom-up evaluator's
+	// runtime heuristic but resolved at compile time: ready built-ins
+	// first (cheap filters), then the atom with the most bound
+	// arguments, extensional before intensional on ties.
+	type cand struct {
+		idx int
+		lit ast.Literal
+	}
+	var remaining []cand
+	for i, l := range r.Body {
+		remaining = append(remaining, cand{i, l})
+	}
+	var subs []*node
+	for len(remaining) > 0 {
+		pick := -1
+		bestScore := -1
+		for ci, c := range remaining {
+			if c.lit.IsBuiltin() {
+				ready := true
+				for _, a := range c.lit.Args {
+					if a.IsVar() && !bound[a.Var] {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					pick = ci
+					break
+				}
+				continue
+			}
+			score := 0
+			for _, a := range c.lit.Args {
+				if !a.IsVar() || bound[a.Var] {
+					score++
+				}
+			}
+			score *= 2
+			if !derived[c.lit.Pred] {
+				score++ // extensional atoms win ties: cheaper to probe
+			}
+			if score > bestScore {
+				bestScore = score
+				pick = ci
+			}
+		}
+		if pick == -1 {
+			// Only built-ins remain and none is ready: no atom binds
+			// their variables, so the rule can never fire (unsafe).
+			return nil, nil, nil
+		}
+		c := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+
+		s := cstep{lit: c.lit, builtin: c.lit.IsBuiltin()}
+		for i, a := range c.lit.Args {
+			ar := ref(a)
+			s.args = append(s.args, ar)
+			if !a.IsVar() || bound[a.Var] {
+				s.mask |= 1 << uint(i)
+				s.boundRefs = append(s.boundRefs, ar)
+			}
+		}
+		if !s.builtin && derived[c.lit.Pred] {
+			s.intensional = true
+			b := make([]byte, len(c.lit.Args))
+			for i := range c.lit.Args {
+				if s.mask&(1<<uint(i)) != 0 {
+					b[i] = 'b'
+				} else {
+					b[i] = 'f'
+				}
+			}
+			s.subAdorn = string(b)
+			s.subKey = adornedKey(c.lit.Pred, s.subAdorn)
+			subs = append(subs, &node{key: s.subKey, pred: c.lit.Pred, adorn: s.subAdorn})
+		}
+		for _, a := range c.lit.Args {
+			if a.IsVar() {
+				bound[a.Var] = true
+			}
+		}
+		cr.steps = append(cr.steps, s)
+	}
+	for _, a := range r.Head.Args {
+		cr.head = append(cr.head, ref(a))
+	}
+	cr.nvars = len(slots)
+	return cr, subs, nil
+}
+
+// unbound marks an unassigned frame slot. symtab.None is a valid
+// constant in no relation, so it doubles as the sentinel exactly as it
+// does in the bottom-up evaluator's substitution map.
+const unbound = symtab.None
+
+// inputTable memoizes the subqueries of one adorned predicate: tuples
+// of bound-argument values, deduplicated, with a processed-prefix mark.
+type inputTable struct {
+	rows [][]symtab.Sym
+	seen map[string]bool
+	mark int
+}
+
+func (t *inputTable) add(row []symtab.Sym) bool {
+	k := packKey(row)
+	if t.seen[k] {
+		return false
+	}
+	t.seen[k] = true
+	t.rows = append(t.rows, append([]symtab.Sym(nil), row...))
+	return true
+}
+
+// answerTable memoizes the derived facts of one intensional predicate,
+// in arrival order (the delta windows of the semi-naive rounds), with
+// one hash index per statically registered probe mask.
+type answerTable struct {
+	rows [][]symtab.Sym
+	seen map[string]bool
+	idx  map[uint32]map[string][]int
+	mark int // answers below mark have been propagated
+}
+
+func newAnswerTable(masks []uint32) *answerTable {
+	t := &answerTable{seen: map[string]bool{}, idx: map[uint32]map[string][]int{}}
+	for _, m := range masks {
+		if m != 0 {
+			t.idx[m] = map[string][]int{}
+		}
+	}
+	return t
+}
+
+func (t *answerTable) add(row []symtab.Sym) bool {
+	k := packKey(row)
+	if t.seen[k] {
+		return false
+	}
+	t.seen[k] = true
+	i := len(t.rows)
+	t.rows = append(t.rows, append([]symtab.Sym(nil), row...))
+	for mask, buckets := range t.idx {
+		bk := packMasked(t.rows[i], mask)
+		buckets[bk] = append(buckets[bk], i)
+	}
+	return true
+}
+
+// lookup returns the indexes of rows matching the bound values under
+// mask (all rows for mask 0).
+func (t *answerTable) lookup(mask uint32, bound []symtab.Sym) []int {
+	if mask == 0 {
+		idxs := make([]int, len(t.rows))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return idxs
+	}
+	buckets, ok := t.idx[mask]
+	if !ok {
+		// Unregistered mask (root filtering only): linear scan.
+		var out []int
+		for i, r := range t.rows {
+			if matchesMask(r, mask, bound) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	return buckets[packKey(bound)]
+}
+
+func matchesMask(row []symtab.Sym, mask uint32, bound []symtab.Sym) bool {
+	k := 0
+	for i := range row {
+		if mask&(1<<uint(i)) != 0 {
+			if row[i] != bound[k] {
+				return false
+			}
+			k++
+		}
+	}
+	return true
+}
+
+func packKey(row []symtab.Sym) string {
+	b := make([]byte, 0, 4*len(row))
+	for _, s := range row {
+		v := uint32(s)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// packMasked packs the masked positions of a full row — the same key
+// packKey computes from the corresponding bound vector.
+func packMasked(row []symtab.Sym, mask uint32) string {
+	b := make([]byte, 0, 4*len(row))
+	for i, s := range row {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		v := uint32(s)
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// pollEvery bounds how many join probes run between context polls: the
+// same order of magnitude as the chain engine's node-visit poll
+// stride, so a deadline cancels a runaway evaluation promptly without
+// the poll dominating tight loops.
+const pollEvery = 4096
+
+// evalState is one Eval call's mutable state over an immutable Net.
+type evalState struct {
+	net   *Net
+	store *edb.Store
+	st    *symtab.Table
+	ctx   context.Context
+	in    map[string]*inputTable
+	ans   map[string]*answerTable
+	stats Stats
+	ops   int
+	err   error
+}
+
+// Eval answers the net's goal for one bound-argument vector (one value
+// per 'b' in the root adornment, in position order), against the live
+// extensional store. It returns every full tuple of the root predicate
+// consistent with the bound arguments. The context is polled
+// throughout; on cancellation the error wraps context.Cause.
+func (n *Net) Eval(ctx context.Context, store *edb.Store, bound []symtab.Sym) ([][]symtab.Sym, Stats, error) {
+	nb := 0
+	for _, c := range n.adorn {
+		if c == 'b' {
+			nb++
+		}
+	}
+	if len(bound) != nb {
+		return nil, Stats{}, fmt.Errorf("qsqnet: goal %s^%s expects %d bound arguments, got %d", n.pred, n.adorn, nb, len(bound))
+	}
+	e := &evalState{
+		net:   n,
+		store: store,
+		st:    store.SymTab(),
+		ctx:   ctx,
+		in:    map[string]*inputTable{},
+		ans:   map[string]*answerTable{},
+	}
+	for _, nd := range n.nodes {
+		e.in[nd.key] = &inputTable{seen: map[string]bool{}}
+	}
+	for _, p := range n.preds {
+		if e.ans[p] == nil {
+			e.ans[p] = newAnswerTable(n.ansMasks[p])
+		}
+	}
+	e.addInput(adornedKey(n.pred, n.adorn), bound)
+
+	if err := e.run(); err != nil {
+		return nil, e.stats, err
+	}
+
+	// Project the root predicate's answers onto the goal: the shared
+	// answer table can hold tuples derived for recursive subqueries
+	// with other bindings, so filter by the goal's own bound values.
+	var rootMask uint32
+	for i, c := range n.adorn {
+		if c == 'b' {
+			rootMask |= 1 << uint(i)
+		}
+	}
+	tbl := e.ans[n.pred]
+	var out [][]symtab.Sym
+	for _, row := range tbl.rows {
+		if rootMask == 0 || matchesMask(row, rootMask, bound) {
+			out = append(out, row)
+		}
+	}
+	return out, e.stats, nil
+}
+
+// addInput memoizes a subquery tuple, returning whether it was new.
+func (e *evalState) addInput(key string, row []symtab.Sym) bool {
+	t := e.in[key]
+	if t == nil {
+		// A key outside the compiled net can only be the root; treat as
+		// a bug loudly rather than dropping work silently.
+		panic("qsqnet: subquery for uncompiled node " + key)
+	}
+	if t.add(row) {
+		e.stats.Subqueries++
+		return true
+	}
+	return false
+}
+
+// poll decrements the probe budget and checks the context; it reports
+// false once the evaluation must stop (e.err is then set).
+func (e *evalState) poll() bool {
+	if e.err != nil {
+		return false
+	}
+	e.ops++
+	if e.ops%pollEvery != 0 {
+		return true
+	}
+	if err := ctxpoll.Err(e.ctx); err != nil {
+		e.err = fmt.Errorf("qsqnet: evaluation canceled: %w", err)
+		return false
+	}
+	return true
+}
+
+// run drives the evaluation to fixpoint: process new subqueries, then
+// propagate answer deltas through pinned re-evaluation, until a round
+// adds nothing.
+func (e *evalState) run() error {
+	e.processInputs()
+	for e.err == nil {
+		e.stats.Rounds++
+		if err := ctxpoll.Err(e.ctx); err != nil {
+			return fmt.Errorf("qsqnet: evaluation canceled: %w", err)
+		}
+		// Snapshot this round's delta windows.
+		type window struct{ lo, hi int }
+		deltas := map[string]window{}
+		any := false
+		for _, p := range e.net.preds {
+			t := e.ans[p]
+			deltas[p] = window{t.mark, len(t.rows)}
+			if t.mark < len(t.rows) {
+				any = true
+			}
+		}
+		if !any {
+			return e.err
+		}
+		// Pinned passes: every (rule, processed input, intensional step
+		// with a non-empty delta) combination re-evaluates with the
+		// pinned step ranging over the delta only. Delta tuples are
+		// already in the tables, so any derivation touching at least
+		// one new answer is found with the other steps on full tables.
+		for _, nd := range e.net.nodes {
+			it := e.in[nd.key]
+			for _, cr := range nd.rules {
+				for si := range cr.steps {
+					s := &cr.steps[si]
+					if !s.intensional {
+						continue
+					}
+					w := deltas[s.lit.Pred]
+					if w.lo == w.hi {
+						continue
+					}
+					for ri := 0; ri < it.mark; ri++ {
+						if e.err != nil {
+							return e.err
+						}
+						e.evalRule(nd, cr, it.rows[ri], si, w.lo, w.hi)
+					}
+				}
+			}
+		}
+		// Advance the marks past the propagated windows; answers added
+		// during this round form the next delta.
+		for _, p := range e.net.preds {
+			e.ans[p].mark = deltas[p].hi
+		}
+		// Subqueries generated by the pinned passes get their full
+		// evaluation before the next delta snapshot.
+		e.processInputs()
+	}
+	return e.err
+}
+
+// processInputs drains every input table's unprocessed suffix, fully
+// evaluating each node's rules for each new subquery tuple. New
+// subqueries generated along the way extend the same tables and are
+// drained in the same call.
+func (e *evalState) processInputs() {
+	for changed := true; changed && e.err == nil; {
+		changed = false
+		for _, nd := range e.net.nodes {
+			it := e.in[nd.key]
+			for it.mark < len(it.rows) {
+				if e.err != nil {
+					return
+				}
+				changed = true
+				row := it.rows[it.mark]
+				it.mark++
+				for _, cr := range nd.rules {
+					e.evalRule(nd, cr, row, -1, 0, 0)
+				}
+			}
+		}
+	}
+}
+
+// evalRule enumerates the substitutions satisfying one compiled rule
+// for one input tuple, emitting instantiated heads into the answer
+// table. pin >= 0 restricts that intensional step to the answer rows
+// in [pinLo, pinHi) — the semi-naive delta window.
+func (e *evalState) evalRule(nd *node, cr *crule, input []symtab.Sym, pin, pinLo, pinHi int) {
+	frame := make([]symtab.Sym, cr.nvars)
+	for i := range frame {
+		frame[i] = unbound
+	}
+	// Bind the head's bound positions from the input tuple; a repeated
+	// variable or head constant constrains the input.
+	for i, b := range cr.inBind {
+		v := input[i]
+		if b.slot < 0 {
+			if b.cnst != v {
+				return
+			}
+			continue
+		}
+		if frame[b.slot] != unbound && frame[b.slot] != v {
+			return
+		}
+		frame[b.slot] = v
+	}
+	e.step(nd, cr, frame, 0, pin, pinLo, pinHi)
+}
+
+// valOf resolves an argument reference against the frame.
+func valOf(frame []symtab.Sym, r argRef) symtab.Sym {
+	if r.slot < 0 {
+		return r.cnst
+	}
+	return frame[r.slot]
+}
+
+// step evaluates body position si onward under the frame.
+func (e *evalState) step(nd *node, cr *crule, frame []symtab.Sym, si, pin, pinLo, pinHi int) {
+	if e.err != nil {
+		return
+	}
+	if si == len(cr.steps) {
+		head := make([]symtab.Sym, len(cr.head))
+		for i, r := range cr.head {
+			head[i] = valOf(frame, r)
+		}
+		e.stats.Firings++
+		if e.ans[nd.pred].add(head) {
+			e.stats.Answers++
+		}
+		return
+	}
+	s := &cr.steps[si]
+	if !e.poll() {
+		return
+	}
+
+	if s.builtin {
+		if bottomup.Compare(e.st, s.lit.Op, valOf(frame, s.args[0]), valOf(frame, s.args[1])) {
+			e.step(nd, cr, frame, si+1, pin, pinLo, pinHi)
+		}
+		return
+	}
+
+	// unify binds the step's free arguments from a candidate tuple,
+	// recursing on success; assignments are undone before returning so
+	// the frame can be reused across candidates.
+	unify := func(tuple []symtab.Sym) {
+		var assigned []int
+		ok := true
+		for i, r := range s.args {
+			v := tuple[i]
+			if r.slot < 0 {
+				if r.cnst != v {
+					ok = false
+					break
+				}
+				continue
+			}
+			if frame[r.slot] != unbound {
+				if frame[r.slot] != v {
+					ok = false
+					break
+				}
+				continue
+			}
+			frame[r.slot] = v
+			assigned = append(assigned, r.slot)
+		}
+		if ok {
+			e.step(nd, cr, frame, si+1, pin, pinLo, pinHi)
+		}
+		for _, sl := range assigned {
+			frame[sl] = unbound
+		}
+	}
+
+	if !s.intensional {
+		rel := e.store.Relation(s.lit.Pred)
+		if rel == nil {
+			return
+		}
+		bound := make([]symtab.Sym, len(s.boundRefs))
+		for i, r := range s.boundRefs {
+			bound[i] = valOf(frame, r)
+		}
+		rel.MatchEach(s.mask, bound, func(tuple []symtab.Sym) {
+			if !e.poll() {
+				return
+			}
+			unify(tuple)
+		})
+		return
+	}
+
+	// Intensional step: memoize the subquery (its answers are computed
+	// by the node it feeds), then join against the answer table — the
+	// delta window when this step is the pinned one, the index buckets
+	// otherwise.
+	bound := make([]symtab.Sym, len(s.boundRefs))
+	for i, r := range s.boundRefs {
+		bound[i] = valOf(frame, r)
+	}
+	e.addInput(s.subKey, bound)
+	tbl := e.ans[s.lit.Pred]
+	if si == pin {
+		// The delta window restricted to this step's bound arguments:
+		// index buckets hold row positions in ascending order, so the
+		// window is a contiguous bucket slice.
+		if s.mask == 0 {
+			for i := pinLo; i < pinHi; i++ {
+				if !e.poll() {
+					return
+				}
+				unify(tbl.rows[i])
+			}
+			return
+		}
+		idxs := tbl.lookup(s.mask, bound)
+		for _, i := range idxs[sort.SearchInts(idxs, pinLo):] {
+			if i >= pinHi {
+				break
+			}
+			if !e.poll() {
+				return
+			}
+			unify(tbl.rows[i])
+		}
+		return
+	}
+	for _, i := range tbl.lookup(s.mask, bound) {
+		if !e.poll() {
+			return
+		}
+		unify(tbl.rows[i])
+	}
+}

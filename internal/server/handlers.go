@@ -345,7 +345,15 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	out, err := s.db.Explain(r.URL.Query().Get("query"))
+	// An optional strategy pin mirrors the query endpoint, so the explain
+	// output (adornment, plan choice, rejected alternatives) describes the
+	// same route a pinned query would run.
+	strategy, err := chainlog.ParseStrategy(r.URL.Query().Get("strategy"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out, err := s.db.ExplainOpts(r.URL.Query().Get("query"), chainlog.Options{Strategy: strategy})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -12,6 +12,7 @@ import (
 	"chainlog/internal/binchain"
 	"chainlog/internal/equations"
 	"chainlog/internal/optimizer"
+	"chainlog/internal/qsqnet"
 	"chainlog/internal/stats"
 )
 
@@ -31,6 +32,8 @@ func strategyForName(name string) Strategy {
 		return Seminaive
 	case optimizer.StrategyMagic:
 		return Magic
+	case optimizer.StrategyQSQNet:
+		return QSQNet
 	default:
 		return Chain
 	}
@@ -86,6 +89,7 @@ func (db *DB) optimizeLocked(tmpl ast.Query, opts Options, observed map[string]f
 	in.ChainAvailable = probe.chainAvailable
 	in.SharedAllFree = probe.sharedAllFree
 	in.MagicAvailable = probe.magicAvailable
+	in.QSQAvailable = probe.qsqAvailable
 	if !strings.Contains(adorned, "b") {
 		in.Domain = len(db.activeDomainLocked())
 	}
@@ -99,6 +103,7 @@ type routeProbe struct {
 	chainAvailable bool
 	sharedAllFree  bool
 	magicAvailable bool
+	qsqAvailable   bool
 }
 
 // routeProbeLocked probes which routes compile for a template, mirroring
@@ -148,6 +153,11 @@ func (db *DB) routeProbeLocked(tmpl ast.Query, opts Options, sub *ast.Program, s
 	// pick a route that silently runs as something else.
 	if _, err := adorn.Adorn(db.prog, tmpl); err == nil {
 		v.magicAvailable = true
+	}
+	// The QSQ net handles arbitrary Datalog, but probe anyway so a
+	// structural compile failure can never become an optimizer choice.
+	if _, err := qsqnet.Compile(sub, tmpl.Pred, adorned); err == nil {
+		v.qsqAvailable = true
 	}
 
 	db.probeMu.Lock()
@@ -200,6 +210,15 @@ func (db *DB) buildPlanFor(tmpl ast.Query, opts Options, eff Strategy, dec *opti
 		return &bottomUpPlan{tmpl: tmpl}, nil
 	case Magic:
 		return &chainFallbackPlan{tmpl: tmpl}, nil
+	case QSQNet:
+		pl, err := db.buildQSQNetPlan(tmpl)
+		if err != nil {
+			// The availability probe compiled this net once already; if the
+			// rule set changed underneath, degrade to the always-correct
+			// fixpoint rather than surface a build error.
+			return &bottomUpPlan{tmpl: tmpl}, nil
+		}
+		return pl, nil
 	default:
 		pl, err := db.buildChainPlan(tmpl, o)
 		if err != nil {
@@ -241,6 +260,7 @@ func (p *Prepared) observedWorkLocked() map[string]float64 {
 		Chain:     optimizer.StrategyChain,
 		Seminaive: optimizer.StrategySeminaive,
 		Magic:     optimizer.StrategyMagic,
+		QSQNet:    optimizer.StrategyQSQNet,
 	}
 	m := make(map[string]float64, len(names))
 	for eff, name := range names {

@@ -21,8 +21,9 @@ edge(e, f).
 `
 
 // Auto (the Options zero value) routes through the cost-based optimizer:
-// the plan records a decision with both rejected alternatives, and run
-// stats report the strategy actually executed, never "auto".
+// the plan records a decision with every rejected alternative (seminaive,
+// magic and qsqnet lose to chain here), and run stats report the strategy
+// actually executed, never "auto".
 func TestAutoStrategyChoosesAndReports(t *testing.T) {
 	db := mustDB(t, tcSrc)
 	p, err := db.Prepare("tc(?, Y)", Options{})
@@ -33,8 +34,8 @@ func TestAutoStrategyChoosesAndReports(t *testing.T) {
 	if pc.Pinned {
 		t.Fatal("Options{} (Auto) must not report a pinned plan")
 	}
-	if len(pc.Rejected) != 2 {
-		t.Fatalf("want 2 rejected alternatives, got %+v", pc.Rejected)
+	if len(pc.Rejected) != 3 {
+		t.Fatalf("want 3 rejected alternatives, got %+v", pc.Rejected)
 	}
 	if pc.Cost <= 0 || pc.Reason == "" {
 		t.Fatalf("decision not recorded: %+v", pc)
@@ -61,7 +62,7 @@ func TestAutoMatchesPinnedAnswers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range []Strategy{Chain, Seminaive, Magic} {
+	for _, s := range []Strategy{Chain, Seminaive, Magic, QSQNet} {
 		pinned, err := db.QueryOpts("tc(b, Y)", Options{Strategy: s})
 		if err != nil {
 			t.Fatal(err)
@@ -161,8 +162,11 @@ func TestExplainShowsPlanChoice(t *testing.T) {
 	if !strings.Contains(out, "plan choice:") || !strings.Contains(out, "chosen: ") {
 		t.Fatalf("Explain missing plan choice section:\n%s", out)
 	}
-	if strings.Count(out, "rejected: ") != 2 {
+	if strings.Count(out, "rejected: ") != 3 {
 		t.Fatalf("Explain should list rejected alternatives:\n%s", out)
+	}
+	if !strings.Contains(out, "adornment: bf") {
+		t.Fatalf("Explain should report the query's binding pattern:\n%s", out)
 	}
 	// No query: program rendering only, no plan section.
 	out, err = db.Explain("")
@@ -275,10 +279,15 @@ func TestObserveFeedbackTriggersReopt(t *testing.T) {
 //
 // The shape: same-carrier connectivity over a single-carrier cycle. The
 // free head variable C in the in group fails the chain condition, so the
-// contest is magic vs seminaive; the model predicts the bound seed
-// restricts the traversal, but on a cycle everything is reachable, so
-// magic degenerates to seminaive plus the rewriting overhead. Observed
-// work feeds back and the plan settles on seminaive.
+// contest is the binding-directed routes (qsqnet, magic) vs seminaive;
+// the model predicts the bound seed restricts the traversal, but on a
+// cycle everything is reachable, so both goal-directed routes degenerate
+// to the full closure plus their own overhead. Observed work feeds back
+// after each mispredicted route runs, every measured route is re-costed
+// from its measurement, and the plan settles on the cheapest priced
+// route — qsqnet, whose recalibrated cost (observed facts at the qsq
+// per-fact rate) undercuts the seminaive model — without ping-ponging,
+// because a measured route keeps its measured cost.
 func TestFeedbackFlipsToMeasuredBest(t *testing.T) {
 	db := NewDB()
 	if err := db.LoadProgram(`cnx2(S, D, C) :- flight2(S, D, C).
@@ -293,39 +302,55 @@ cnx2(S, D, C) :- flight2(S, H, C), cnx2(H, D, C).`); err != nil {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pc := p.Plan(); pc.Strategy != Magic {
-		t.Fatalf("the model should start from magic on a bound query, got %v", pc.Strategy)
+	if pc := p.Plan(); pc.Strategy != QSQNet && pc.Strategy != Magic {
+		t.Fatalf("the model should start from a binding-directed route on a bound query, got %v", pc.Strategy)
 	}
 	first, err := p.Run("a0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The run observed far more retrievals than estimated; the next run
-	// re-optimizes at entry — no fact mutation required — and the
-	// recalibrated magic cost loses to the seminaive model cost.
-	again, err := p.Run("a0")
-	if err != nil {
-		t.Fatal(err)
+	// Each run observes far more retrievals than its route's estimate;
+	// the next run re-optimizes at entry — no fact mutation required —
+	// and the contest re-prices from measurements. The optimistic model
+	// estimates fall in turn until every surviving price is honest.
+	again := first
+	var reopts uint64
+	for i := 0; i < 4; i++ {
+		if pc := p.Plan(); pc.Reoptimizations == reopts && i > 0 {
+			break // no re-optimization on the last run: settled
+		} else {
+			reopts = pc.Reoptimizations
+		}
+		again, err = p.Run("a0")
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	pc := p.Plan()
-	if pc.Strategy != Seminaive {
-		t.Fatalf("feedback should flip the plan to seminaive, got %v (reason %q)", pc.Strategy, pc.Reason)
+	if pc.Strategy != QSQNet {
+		t.Fatalf("feedback should settle on the recalibrated qsq net, got %v (reason %q)", pc.Strategy, pc.Reason)
 	}
 	if pc.Reoptimizations == 0 {
-		t.Fatal("the flip must be counted as a re-optimization")
+		t.Fatal("the mispredictions must be counted as re-optimizations")
 	}
 	if !strings.Contains(strings.Join(rejectedDetails(pc), "\n"), "recalibrated from") {
-		t.Fatalf("the rejected magic route should carry its measured cost: %+v", pc.Rejected)
+		t.Fatalf("the rejected routes should carry their measured costs: %+v", pc.Rejected)
+	}
+	if !strings.Contains(pc.Reason, "recalibrated from") {
+		t.Fatalf("the settled route must be priced from its measurement, not the optimistic model: %q", pc.Reason)
 	}
 	if !reflect.DeepEqual(first.Rows, again.Rows) {
 		t.Fatal("re-optimization changed the answer")
 	}
 	// Stable: further runs see estimate ≈ observation and stay put.
-	if _, err := p.Run("a0"); err != nil {
-		t.Fatal(err)
+	settled := pc.Reoptimizations
+	for i := 0; i < 3; i++ {
+		if _, err := p.Run("a0"); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if pc := p.Plan(); pc.Strategy != Seminaive || pc.Reoptimizations != 1 {
-		t.Fatalf("plan should settle: %v after %d reoptimizations", pc.Strategy, pc.Reoptimizations)
+	if pc := p.Plan(); pc.Strategy != QSQNet || pc.Reoptimizations != settled {
+		t.Fatalf("plan should settle: %v after %d reoptimizations (settled at %d)", pc.Strategy, pc.Reoptimizations, settled)
 	}
 }
 

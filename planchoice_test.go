@@ -45,7 +45,7 @@ type corpusCase struct {
 }
 
 // loadCorpusDB builds the case's database: program plus generated facts.
-func loadCorpusDB(t *testing.T, c corpusCase) *DB {
+func loadCorpusDB(t testing.TB, c corpusCase) *DB {
 	t.Helper()
 	db := NewDB()
 	if err := db.LoadProgram(c.Program); err != nil {
@@ -57,7 +57,7 @@ func loadCorpusDB(t *testing.T, c corpusCase) *DB {
 	return db
 }
 
-func genCorpusFacts(t *testing.T, db *DB, f corpusFactSpec) {
+func genCorpusFacts(t testing.TB, db *DB, f corpusFactSpec) {
 	t.Helper()
 	switch f.Kind {
 	case "chain":
@@ -198,7 +198,7 @@ func TestPlanChoiceCorpus(t *testing.T) {
 			measured := map[Strategy]time.Duration{}
 			var best Strategy
 			bestTime := time.Duration(1<<63 - 1)
-			for _, s := range []Strategy{Chain, Seminaive, Magic} {
+			for _, s := range []Strategy{Chain, Seminaive, Magic, QSQNet} {
 				d, ok := measureStrategy(t, db, c, s)
 				if !ok {
 					continue

@@ -408,6 +408,8 @@ func (db *DB) buildPlan(tmpl ast.Query, opts Options) (plan, error) {
 		return db.buildLinearPlan(tmpl, opts)
 	case Hunt:
 		return db.buildHuntPlan(tmpl)
+	case QSQNet:
+		return db.buildQSQNetPlan(tmpl)
 	}
 	return nil, fmt.Errorf("chainlog: unhandled strategy %v", opts.Strategy)
 }

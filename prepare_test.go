@@ -324,8 +324,8 @@ func TestConcurrentQueryPlanCache(t *testing.T) {
 // Every strategy round-trips through its CLI name.
 func TestStrategyStringRoundTrip(t *testing.T) {
 	all := Strategies()
-	if len(all) != 9 {
-		t.Fatalf("expected 9 strategies, have %d", len(all))
+	if len(all) != 10 {
+		t.Fatalf("expected 10 strategies, have %d", len(all))
 	}
 	for _, s := range all {
 		got, err := ParseStrategy(s.String())
@@ -340,7 +340,7 @@ func TestStrategyStringRoundTrip(t *testing.T) {
 
 // Prepared plans work for every strategy, agreeing with one-shot queries.
 func TestPreparedAllStrategies(t *testing.T) {
-	for _, s := range []Strategy{Chain, Naive, Seminaive, Magic, Counting, ReverseCounting, HenschenNaqvi} {
+	for _, s := range []Strategy{Chain, Naive, Seminaive, Magic, Counting, ReverseCounting, HenschenNaqvi, QSQNet} {
 		t.Run(s.String(), func(t *testing.T) {
 			db := mustDB(t, sgSrc)
 			p, err := db.Prepare("sg(?, Y)", Options{Strategy: s})

@@ -1,0 +1,88 @@
+package chainlog
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The checked-in qsqnet-vs-seminaive contest: the bound-argument
+// non-chain corpus case (testdata/planchoice/qsq-bound-nonchain.json)
+// where neither the chain route nor magic compiles, the bound seed
+// prunes the search to a small suffix of the graph, and the goal-
+// directed net must beat the whole-program fixpoint by at least 5x.
+
+// qsqGateCase loads the corpus case the gate and benchmarks run on.
+func qsqGateCase(tb testing.TB) corpusCase {
+	tb.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "planchoice", "qsq-bound-nonchain.json"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var c corpusCase
+	if err := json.Unmarshal(raw, &c); err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+func benchQSQGateStrategy(b *testing.B, s Strategy) {
+	c := qsqGateCase(b)
+	db := loadCorpusDB(b, c)
+	p, err := db.Prepare(c.Query, Options{Strategy: s})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Run(c.Args...); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(c.Args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQSQNetBoundNonChain(b *testing.B)    { benchQSQGateStrategy(b, QSQNet) }
+func BenchmarkSeminaiveBoundNonChain(b *testing.B) { benchQSQGateStrategy(b, Seminaive) }
+
+// The gate: Auto must route the case through qsqnet, and qsqnet must
+// measure at least 5x faster than the seminaive fallback it replaces.
+func TestQSQNetBeatsSeminaiveBoundNonChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate; skipped in -short mode")
+	}
+	c := qsqGateCase(t)
+	db := loadCorpusDB(t, c)
+
+	auto, err := db.Prepare(c.Query, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the feedback loop settle, as the corpus gate does: the claim
+	// covers the choice the optimizer actually keeps, not just the first
+	// model pass.
+	for i := 0; i < 3; i++ {
+		if _, err := auto.Run(c.Args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc := auto.Plan(); pc.Strategy != QSQNet {
+		t.Fatalf("Auto settled on %v for the bound non-chain case, want qsqnet (reason %q)", pc.Strategy, pc.Reason)
+	}
+
+	qsq, ok := measureStrategy(t, db, c, QSQNet)
+	if !ok {
+		t.Fatal("qsqnet did not run the gate case")
+	}
+	semi, ok := measureStrategy(t, db, c, Seminaive)
+	if !ok {
+		t.Fatal("seminaive did not run the gate case")
+	}
+	t.Logf("qsqnet %v, seminaive %v (%.1fx)", qsq, semi, float64(semi)/float64(qsq))
+	if 5*qsq > semi {
+		t.Errorf("qsqnet %v vs seminaive %v: want >= 5x on the bound non-chain case", qsq, semi)
+	}
+}

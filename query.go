@@ -56,6 +56,14 @@ const (
 	// Hunt is the Hunt-Szymanski-Ullman preconstruction baseline
 	// (regular equations only).
 	Hunt
+	// QSQNet is goal-directed Query-Subquery Net evaluation (Nguyen &
+	// Cao): the rule program plus the query's adornment compile into a
+	// net of input/answer tables once, then each run seeds the root
+	// input table and propagates subqueries tuple-set-at-a-time with
+	// memoization. Handles arbitrary Datalog (nonlinear and mutual
+	// recursion included) and explores only the goal-reachable portion
+	// of the search space, so it wins when bound arguments prune.
+	QSQNet
 
 	// strategyCount bounds per-strategy state arrays.
 	strategyCount
@@ -81,13 +89,15 @@ func (s Strategy) String() string {
 		return "henschen-naqvi"
 	case Hunt:
 		return "hunt"
+	case QSQNet:
+		return "qsqnet"
 	}
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
 
 // Strategies lists every selectable strategy, in declaration order.
 func Strategies() []Strategy {
-	return []Strategy{Auto, Chain, Naive, Seminaive, Magic, Counting, ReverseCounting, HenschenNaqvi, Hunt}
+	return []Strategy{Auto, Chain, Naive, Seminaive, Magic, Counting, ReverseCounting, HenschenNaqvi, Hunt, QSQNet}
 }
 
 // ParseStrategy resolves a strategy name as used by the CLI. The empty
@@ -112,6 +122,8 @@ func ParseStrategy(name string) (Strategy, error) {
 		return HenschenNaqvi, nil
 	case "hunt":
 		return Hunt, nil
+	case "qsqnet", "qsq":
+		return QSQNet, nil
 	}
 	return Chain, fmt.Errorf("chainlog: unknown strategy %q", name)
 }
